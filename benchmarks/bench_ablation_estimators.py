@@ -1,0 +1,34 @@
+"""Ablation: Fortune Teller estimator variants (DESIGN.md §5, items 1/4/5).
+
+Compares the full qLong+qShort+tx decomposition against the naive
+``qSize/avg(txRate)`` strawman, with/without the maxBurstSize
+correction, and across sliding-window lengths.
+"""
+
+from repro.experiments.drivers.ablation import estimator_ablation
+from repro.experiments.drivers.format import format_table
+
+
+def test_estimator_ablation(once):
+    rows = once(estimator_ablation, duration=30.0, trace_name="W1")
+    table = [(r.estimator, f"{r.window_ms:g}", f"{r.median_abs_error_ms:.2f}",
+              f"{r.p90_abs_error_ms:.2f}", r.samples)
+             for r in rows]
+    print()
+    print(format_table(
+        "Ablation — estimator variants (abs prediction error, ms)",
+        ("estimator", "window(ms)", "median", "P90", "samples"),
+        table))
+
+    by_name = {r.estimator: r for r in rows}
+    full = by_name["zhuge(40ms)"]
+    naive = by_name["naive(qSize/txRate)"]
+    assert full.samples > 1000
+    # The decomposition's win is in the typical case: the naive
+    # estimator's window-lag shows up as a consistently biased median,
+    # while qShort keeps Zhuge's median error to well under a frame
+    # interval. (At the P90 both are dominated by deep-fade transients,
+    # where the paper itself notes predictions are inaccurate but
+    # directionally sufficient — Fig. 19b.)
+    assert full.median_abs_error_ms < naive.median_abs_error_ms
+    assert full.median_abs_error_ms < 5.0

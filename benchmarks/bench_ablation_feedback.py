@@ -1,0 +1,28 @@
+"""Ablation: Feedback Updater variants (DESIGN.md §5, items 2/3).
+
+Distributional sampling vs direct per-ACK deltas, and the token bank
+on/off. Without tokens, a zero-mean delta stream drifts the injected
+ACK delay upward (chronic RTT overestimation).
+"""
+
+from repro.experiments.drivers.ablation import feedback_ablation
+from repro.experiments.drivers.format import format_table
+
+
+def test_feedback_ablation(once):
+    rows = once(feedback_ablation, acks=5000)
+    table = [(r.variant, f"{r.mean_injected_ms:.2f}",
+              f"{r.p99_injected_ms:.2f}", f"{r.drift_ms:+.2f}")
+             for r in rows]
+    print()
+    print(format_table(
+        "Ablation — feedback updater variants (injected ACK delay, ms)",
+        ("variant", "mean", "P99", "drift"),
+        table))
+
+    by_name = {r.variant: r for r in rows}
+    with_tokens = by_name["distributional+tokens"]
+    without_tokens = by_name["distributional,no-tokens"]
+    # Tokens keep the injected delay bounded; without them it drifts.
+    assert with_tokens.mean_injected_ms < without_tokens.mean_injected_ms
+    assert abs(with_tokens.drift_ms) < without_tokens.drift_ms + 1.0

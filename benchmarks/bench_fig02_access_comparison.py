@@ -1,0 +1,31 @@
+"""Fig. 2: RTT / frame delay tails by access network type.
+
+Paper: wireless users see median RTT comparable to Ethernet but a ~4x
+heavier P99, ~2x more delayed frames, and far more low-frame-rate
+seconds. We regenerate the same comparison over synthetic Ethernet /
+WiFi / 4G access channels.
+"""
+
+from repro.experiments.drivers.access import fig2_access_comparison
+from repro.experiments.drivers.format import format_table, ms, pct
+
+
+def test_fig2_access_comparison(once):
+    rows = once(fig2_access_comparison, duration=45.0, seeds=(1, 2))
+    table = [(r.access, ms(r.median_rtt), ms(r.p99_rtt),
+              pct(r.delayed_frame_ratio), pct(r.low_fps_ratio))
+             for r in rows]
+    print()
+    print(format_table(
+        "Fig. 2 — access-network comparison (RTC flow)",
+        ("access", "median RTT", "P99 RTT", "frames>400ms", "fps<10"),
+        table))
+
+    by_access = {r.access: r for r in rows}
+    eth, wifi, cell = by_access["Ethernet"], by_access["WiFi"], by_access["4G"]
+    # Medians comparable (within 2x)...
+    assert wifi.median_rtt < eth.median_rtt * 2.5
+    # ...but the wireless tail is much heavier.
+    assert wifi.p99_rtt > eth.p99_rtt * 1.5
+    assert cell.p99_rtt > eth.p99_rtt * 1.5
+    assert (wifi.delayed_frame_ratio >= eth.delayed_frame_ratio)

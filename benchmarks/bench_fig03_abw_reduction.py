@@ -1,0 +1,41 @@
+"""Fig. 3b: distribution of available-bandwidth reduction ratios.
+
+Paper: for all wireless traces, 0.6-7.3% of 200 ms windows show a >=10x
+ABW reduction; wired access shows <0.1%.
+"""
+
+from repro.experiments.drivers.format import format_table, pct
+from repro.traces import ethernet_trace, make_trace, reduction_tail_fraction
+from repro.traces.synthetic import TRACE_NAMES
+
+
+def compute_rows(duration=1200.0, seed=3):
+    rows = []
+    for name in TRACE_NAMES:
+        trace = make_trace(name, duration=duration, seed=seed)
+        rows.append((name,
+                     pct(reduction_tail_fraction(trace, 2.0)),
+                     pct(reduction_tail_fraction(trace, 5.0)),
+                     pct(reduction_tail_fraction(trace, 10.0)),
+                     reduction_tail_fraction(trace, 10.0)))
+    eth = ethernet_trace(duration=duration, seed=seed)
+    rows.append(("eth",
+                 pct(reduction_tail_fraction(eth, 2.0)),
+                 pct(reduction_tail_fraction(eth, 5.0)),
+                 pct(reduction_tail_fraction(eth, 10.0)),
+                 reduction_tail_fraction(eth, 10.0)))
+    return rows
+
+
+def test_fig3b_abw_reduction(once):
+    rows = once(compute_rows)
+    print()
+    print(format_table(
+        "Fig. 3b — ABW reduction ratio tails (200 ms windows)",
+        ("trace", "P(>=2x)", "P(>=5x)", "P(>=10x)"),
+        [r[:4] for r in rows]))
+    wireless = [r for r in rows if r[0] != "eth"]
+    for name, _, _, _, fraction in wireless:
+        assert 0.002 <= fraction <= 0.073, (name, fraction)
+    eth_fraction = rows[-1][4]
+    assert eth_fraction < 0.001

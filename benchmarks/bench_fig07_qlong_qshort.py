@@ -1,0 +1,34 @@
+"""Fig. 7: qLong and qShort response to an ABW drop at t=5 ms.
+
+Paper: right after the drop, qShort dominates the rise of the predicted
+delay (the queue and the windowed txRate need time to react); once the
+queue has built, qLong takes over and gives a stable estimate.
+"""
+
+from repro.experiments.drivers.accuracy import fig7_qlong_qshort
+from repro.experiments.drivers.format import format_table
+
+
+def test_fig7_qlong_qshort(once):
+    points = once(fig7_qlong_qshort, drop_at_ms=5.0, duration_ms=30.0)
+    table = [(f"{p.time_ms:.1f}", f"{p.q_long_ms:.2f}", f"{p.q_short_ms:.2f}",
+              f"{p.tx_rate_mbps:.1f}", f"{p.queue_kb:.1f}")
+             for p in points[::4]]
+    print()
+    print(format_table(
+        "Fig. 7 — estimator response to ABW drop at 5 ms",
+        ("t (ms)", "qLong (ms)", "qShort (ms)", "txRate (Mbps)", "queue (kB)"),
+        table))
+
+    early = [p for p in points if 7.0 <= p.time_ms <= 13.0]
+    late = [p for p in points if 22.0 <= p.time_ms <= 30.0]
+    assert early and late
+    # Early after the drop, qShort carries the signal...
+    assert max(p.q_short_ms for p in early) > 2.0
+    mean_early_short = sum(p.q_short_ms for p in early) / len(early)
+    mean_early_long = sum(p.q_long_ms for p in early) / len(early)
+    assert mean_early_short > mean_early_long
+    # ...while later the built-up queue makes qLong dominate.
+    mean_late_long = sum(p.q_long_ms for p in late) / len(late)
+    assert mean_late_long > mean_early_long
+    assert mean_late_long > 5.0

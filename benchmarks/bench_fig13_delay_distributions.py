@@ -1,0 +1,39 @@
+"""Fig. 13: tail distributions (1-CDF) of RTT, frame delay, frame rate.
+
+Paper (trace W1): Zhuge reduces the P99 RTT from ~400 ms to ~170 ms and
+shrinks the delayed-frame tail at every percentile.
+"""
+
+from repro.experiments.drivers.format import format_table, ms
+from repro.experiments.drivers.traces_eval import fig13_distributions
+
+
+def _tail_at(curve, probability):
+    """Smallest value whose CCDF is below ``probability``."""
+    for value, p in curve:
+        if p <= probability:
+            return value
+    return curve[-1][0] if curve else float("nan")
+
+
+def test_fig13_delay_distributions(once):
+    curves = once(fig13_distributions, trace_name="W1", duration=60.0,
+                  seeds=(1, 2))
+    table = []
+    for scheme, data in curves.items():
+        table.append((scheme,
+                      ms(_tail_at(data["rtt_ccdf"], 0.01)),
+                      ms(_tail_at(data["rtt_ccdf"], 0.001)),
+                      ms(_tail_at(data["frame_delay_ccdf"], 0.01))))
+    print()
+    print(format_table(
+        "Fig. 13 — tail percentiles on trace W1",
+        ("scheme", "P99 RTT", "P99.9 RTT", "P99 frame delay"),
+        table))
+
+    p99_zhuge = _tail_at(curves["Gcc+Zhuge"]["rtt_ccdf"], 0.01)
+    p99_fifo = _tail_at(curves["Gcc+FIFO"]["rtt_ccdf"], 0.01)
+    assert p99_zhuge <= p99_fifo * 1.05
+    fd99_zhuge = _tail_at(curves["Gcc+Zhuge"]["frame_delay_ccdf"], 0.01)
+    fd99_fifo = _tail_at(curves["Gcc+FIFO"]["frame_delay_ccdf"], 0.01)
+    assert fd99_zhuge <= fd99_fifo * 1.2

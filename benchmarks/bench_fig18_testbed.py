@@ -1,0 +1,35 @@
+"""Fig. 18: testbed scenarios (scp / mcs / raw).
+
+Paper: against Gcc+FIFO and Gcc+CoDel, Zhuge improves the network-RTT
+tail by 17-95% and frame delay by 9-67% in all three scenarios while
+keeping the average bitrate (Fig. 18c).
+"""
+
+from repro.experiments.drivers.format import format_table, mbps, pct
+from repro.experiments.drivers.testbed import fig18_testbed
+
+
+def test_fig18_testbed(once):
+    rows = once(fig18_testbed, duration=60.0, seeds=(1, 2))
+    table = [(r.scenario, r.scheme, pct(r.rtt_tail_ratio),
+              pct(r.delayed_frame_ratio), mbps(r.mean_bitrate_bps))
+             for r in rows]
+    print()
+    print(format_table(
+        "Fig. 18 — testbed scenarios",
+        ("scenario", "scheme", "RTT>200ms", "frame>400ms", "bitrate"),
+        table))
+
+    def get(scenario, scheme):
+        return next(r for r in rows
+                    if r.scenario == scenario and r.scheme == scheme)
+
+    for scenario in ("scp", "mcs", "raw"):
+        zhuge = get(scenario, "Gcc+Zhuge")
+        fifo = get(scenario, "Gcc+FIFO")
+        codel = get(scenario, "Gcc+CoDel")
+        best_tail = min(fifo.rtt_tail_ratio, codel.rtt_tail_ratio)
+        # Tail improvement (or parity when the baseline tail is ~0).
+        assert zhuge.rtt_tail_ratio <= best_tail + 0.01, scenario
+        # Fig. 18c: the steady-state bitrate is not sacrificed.
+        assert zhuge.mean_bitrate_bps >= 0.6 * fifo.mean_bitrate_bps, scenario

@@ -1,0 +1,42 @@
+"""Fig. 21: CPU overhead of Zhuge vs concurrent flows.
+
+Paper: two decade-old APs sustain 5 concurrent Zhuge flows. We measure
+the per-packet wall-clock cost of the full Zhuge datapath and project
+router-class utilization (DESIGN.md documents the substitution). The
+claims preserved: cost grows ~linearly with flows, and five flows fit
+in the budget.
+"""
+
+from repro.experiments.drivers.format import format_table, pct
+from repro.experiments.drivers.overhead import (fig21_cpu_overhead,
+                                                measure_per_packet_cost)
+
+
+def test_fig21_cpu_overhead(once):
+    rows = once(fig21_cpu_overhead, flow_counts=(1, 2, 3, 4, 5))
+    table = [(r.router, r.flows, f"{r.per_packet_us:.1f}us",
+              pct(r.projected_cpu_utilization, 1))
+             for r in rows]
+    print()
+    print(format_table(
+        "Fig. 21 — projected CPU utilization",
+        ("router", "flows", "per-packet", "CPU"),
+        table))
+
+    per_router: dict[str, list] = {}
+    for row in rows:
+        per_router.setdefault(row.router, []).append(row)
+    for router, series in per_router.items():
+        series.sort(key=lambda r: r.flows)
+        utils = [r.projected_cpu_utilization for r in series]
+        # Monotone growth in flows, and 5 flows fit the budget.
+        assert all(a <= b + 1e-9 for a, b in zip(utils, utils[1:])), router
+        assert utils[-1] < 1.0, router
+
+
+def test_per_packet_cost_benchmark(benchmark):
+    """Raw per-packet datapath cost (the quantity Fig. 21 scales)."""
+    cost = benchmark.pedantic(measure_per_packet_cost,
+                              kwargs=dict(packets=5000),
+                              rounds=3, iterations=1)
+    assert cost < 0.001  # well under 1 ms per packet even in Python

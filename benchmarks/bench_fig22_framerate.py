@@ -1,0 +1,34 @@
+"""Fig. 22: low-frame-rate ratios over the five traces (RTP and TCP).
+
+Paper: Zhuge achieves the smallest (or near-smallest) ratio of
+per-second frame rate below 10 fps among all baselines.
+"""
+
+from repro.experiments.drivers.format import format_table, pct
+from repro.experiments.drivers.traces_eval import fig22_framerate
+
+
+def test_fig22_framerate(once):
+    rows = once(fig22_framerate, duration=60.0, seeds=(1,))
+    table = [(r.trace, r.scheme, pct(r.low_fps_ratio))
+             for r in rows]
+    print()
+    print(format_table(
+        "Fig. 22 — P(frame rate < 10 fps) over traces",
+        ("trace", "scheme", "fps<10"),
+        table))
+
+    def ratio(trace, scheme):
+        return next(r.low_fps_ratio for r in rows
+                    if r.trace == trace and r.scheme == scheme)
+
+    traces = sorted({r.trace for r in rows})
+    # RTP: Zhuge at or near the best in aggregate.
+    zhuge = sum(ratio(t, "Gcc+Zhuge") for t in traces)
+    fifo = sum(ratio(t, "Gcc+FIFO") for t in traces)
+    codel = sum(ratio(t, "Gcc+CoDel") for t in traces)
+    assert zhuge <= min(fifo, codel) + 0.05
+    # TCP: Zhuge not worse than plain Copa in aggregate.
+    zhuge_tcp = sum(ratio(t, "Copa+Zhuge") for t in traces)
+    plain_tcp = sum(ratio(t, "Copa") for t in traces)
+    assert zhuge_tcp <= plain_tcp + 0.05

@@ -1,0 +1,30 @@
+"""Table 3 (Appendix B): legacy low-bandwidth cellular traces.
+
+Paper: on the ABC paper's decade-old traces (order of magnitude lower
+bandwidth), ABC performs best on application metrics, but Copa+Zhuge
+improves plain Copa substantially (~67%) and stays comparable to ABC —
+without touching end hosts.
+"""
+
+from repro.experiments.drivers.format import format_table, pct
+from repro.experiments.drivers.traces_eval import table3_abc_traces
+
+
+def test_table3_abc_traces(once):
+    rows = once(table3_abc_traces, duration=60.0, seeds=(1, 2))
+    table = [(r.scheme, pct(r.rtt_tail_ratio), pct(r.delayed_frame_ratio),
+              pct(r.low_fps_ratio))
+             for r in rows]
+    print()
+    print(format_table(
+        "Table 3 — ABC-legacy traces",
+        ("scheme", "RTT>200ms", "frame>400ms", "fps<10"),
+        table))
+
+    def get(scheme):
+        return next(r for r in rows if r.scheme == scheme)
+
+    copa, zhuge = get("Copa"), get("Copa+Zhuge")
+    # Zhuge must not regress plain Copa on the legacy traces.
+    assert zhuge.rtt_tail_ratio <= copa.rtt_tail_ratio + 0.02
+    assert zhuge.delayed_frame_ratio <= copa.delayed_frame_ratio + 0.05

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench runs its experiment exactly once under pytest-benchmark
+(``rounds=1``) — the timing is the experiment's wall-clock cost, and the
+printed table is the reproduced figure/table. Durations and seed counts
+are scaled down from the paper's hours-long runs so the full suite
+finishes in minutes; the *shape* of each result is what we assert.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the benchmark timer and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

@@ -1,0 +1,45 @@
+"""repro: reproduction of Zhuge (SIGCOMM 2022).
+
+Zhuge achieves consistent low latency for wireless real-time
+communications by shortening the congestion-control loop at the
+last-mile access point: a Fortune Teller predicts each packet's delay on
+AP arrival, and a Feedback Updater carries that prediction back to the
+sender immediately -- by delaying ACKs (out-of-band protocols) or by
+constructing TWCC feedback at the AP (in-band protocols).
+
+Quick start::
+
+    from repro import ScenarioConfig, run_scenario, make_trace
+
+    config = ScenarioConfig(trace=make_trace("W1", duration=30),
+                            protocol="rtp", ap_mode="zhuge")
+    result = run_scenario(config)
+    print(result.rtt.tail_ratio(), result.frames.delayed_ratio())
+"""
+
+from repro.core import (
+    FortuneTeller,
+    OutOfBandFeedbackUpdater,
+    InBandFeedbackUpdater,
+    ZhugeAP,
+    FeedbackKind,
+)
+from repro.experiments import ScenarioConfig, ScenarioResult, run_scenario
+from repro.traces import BandwidthTrace, make_trace, ethernet_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FortuneTeller",
+    "OutOfBandFeedbackUpdater",
+    "InBandFeedbackUpdater",
+    "ZhugeAP",
+    "FeedbackKind",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+    "BandwidthTrace",
+    "make_trace",
+    "ethernet_trace",
+    "__version__",
+]

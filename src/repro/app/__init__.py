@@ -1,0 +1,13 @@
+"""Application models: video streaming (RTC) and bulk transfer."""
+
+from repro.app.video import VideoEncoder, VideoFrame, RtpVideoApp, TcpVideoApp
+from repro.app.bulk import BulkSenderApp, PeriodicBulkApp
+
+__all__ = [
+    "VideoEncoder",
+    "VideoFrame",
+    "RtpVideoApp",
+    "TcpVideoApp",
+    "BulkSenderApp",
+    "PeriodicBulkApp",
+]

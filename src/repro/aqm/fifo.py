@@ -1,0 +1,7 @@
+"""Plain FIFO (drop-tail) queue — the paper's baseline discipline."""
+
+from repro.net.queue import DropTailQueue
+
+
+class FifoQueue(DropTailQueue):
+    """Alias of :class:`DropTailQueue` under the name used in scenarios."""

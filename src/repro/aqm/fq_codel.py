@@ -1,0 +1,147 @@
+"""FQ-CoDel: per-flow isolation with deficit round-robin + CoDel.
+
+The paper notes (§4.1, "Calculation with queue disciplines") that real
+systems default to fq_codel, so the Fortune Teller must read the
+statistics of *the RTC flow's own sub-queue*. This class therefore
+exposes ``flow_queue(five_tuple)`` so Zhuge can observe a single flow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.aqm.codel import CoDelQueue
+from repro.net.packet import FiveTuple, Packet
+from repro.net.queue import DropTailQueue
+
+
+class FqCoDelQueue(DropTailQueue):
+    """Flow-isolating queue aggregate.
+
+    Each five-tuple gets its own :class:`CoDelQueue`; dequeue serves
+    sub-queues in deficit round-robin with a per-round ``quantum``.
+    The aggregate presents the DropTailQueue interface: ``byte_length``
+    and ``packet_length`` sum the sub-queues, ``front_wait_time`` reports
+    the wait of the packet that would be dequeued next.
+    """
+
+    def __init__(self, capacity_bytes: int = 375_000, name: str = "fq_codel",
+                 quantum: int = 1514, target: float = 0.005,
+                 interval: float = 0.100):
+        super().__init__(capacity_bytes=capacity_bytes, name=name)
+        self.quantum = quantum
+        self._target = target
+        self._interval = interval
+        self._flows: dict[FiveTuple, CoDelQueue] = {}
+        self._active: deque[FiveTuple] = deque()
+        self._deficit: dict[FiveTuple, int] = {}
+
+    # -- flow access (used by Zhuge per §4.1) ------------------------------
+
+    def flow_queue(self, flow: FiveTuple) -> Optional[CoDelQueue]:
+        """The sub-queue holding ``flow``'s packets, if it exists."""
+        return self._flows.get(flow)
+
+    @property
+    def flow_count(self) -> int:
+        return len(self._flows)
+
+    # -- aggregate state ---------------------------------------------------
+
+    @property
+    def byte_length(self) -> int:
+        return sum(q.byte_length for q in self._flows.values())
+
+    @property
+    def packet_length(self) -> int:
+        return sum(q.packet_length for q in self._flows.values())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._active
+
+    def front(self) -> Optional[Packet]:
+        flow = self._next_flow_peek()
+        if flow is None:
+            return None
+        return self._flows[flow].front()
+
+    def front_wait_time(self, now: float) -> float:
+        head = self.front()
+        if head is None or head.enqueued_at is None:
+            return 0.0
+        return max(0.0, now - head.enqueued_at)
+
+    def _next_flow_peek(self) -> Optional[FiveTuple]:
+        for flow in self._active:
+            if not self._flows[flow].is_empty:
+                return flow
+        return None
+
+    # -- mutation ----------------------------------------------------------
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self.byte_length + packet.size > self.capacity_bytes:
+            self._drop(packet, "tail-overflow")
+            return False
+        flow = packet.flow
+        sub = self._flows.get(flow)
+        if sub is None:
+            sub = CoDelQueue(capacity_bytes=self.capacity_bytes,
+                             name=f"{self.name}[{flow.src_port}]",
+                             target=self._target, interval=self._interval)
+            sub.on_drop.append(lambda p, reason: self._sub_drop(p, reason))
+            self._flows[flow] = sub
+        if flow not in self._deficit:
+            self._deficit[flow] = self.quantum
+            self._active.append(flow)
+        accepted = sub.enqueue(packet, now)
+        if accepted:
+            self.stats.enqueued += 1
+            self.stats.bytes_enqueued += packet.size
+            for callback in self.on_arrival:
+                callback(packet, self)
+        return accepted
+
+    def _sub_drop(self, packet: Packet, reason: str) -> None:
+        self.stats.record_drop(packet, reason)
+        for callback in self.on_drop:
+            callback(packet, reason)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        rounds = 0
+        max_rounds = 2 * len(self._active) + 2
+        while self._active and rounds < max_rounds:
+            rounds += 1
+            flow = self._active[0]
+            sub = self._flows[flow]
+            if sub.is_empty:
+                self._active.popleft()
+                del self._deficit[flow]
+                del self._flows[flow]
+                continue
+            head = sub.front()
+            if head is not None and self._deficit[flow] < head.size:
+                self._deficit[flow] += self.quantum
+                self._active.rotate(-1)
+                continue
+            packet = sub.dequeue(now)
+            if packet is None:
+                # CoDel dropped the whole sub-queue backlog.
+                continue
+            self._deficit[flow] -= packet.size
+            self.stats.dequeued += 1
+            self.stats.bytes_dequeued += packet.size
+            for callback in self.on_departure:
+                callback(packet, self)
+            return packet
+        return None
+
+    def clear(self) -> None:
+        self._flows.clear()
+        self._active.clear()
+        self._deficit.clear()
+
+    def __len__(self) -> int:
+        return self.packet_length

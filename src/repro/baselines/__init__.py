@@ -1,0 +1,6 @@
+"""AP-side baselines Zhuge is compared against."""
+
+from repro.baselines.fastack import FastAckProxy
+from repro.baselines.passthrough import PassthroughAP
+
+__all__ = ["FastAckProxy", "PassthroughAP"]

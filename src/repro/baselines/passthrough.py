@@ -1,0 +1,28 @@
+"""Plain AP: forwards both directions untouched (the no-Zhuge baseline)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+
+ForwardCallback = Callable[[Packet], None]
+
+
+class PassthroughAP:
+    """Baseline access point with no feedback manipulation."""
+
+    def __init__(self) -> None:
+        self.forward_downlink: Optional[ForwardCallback] = None
+        self.forward_uplink: Optional[ForwardCallback] = None
+        self.packets_processed = 0
+
+    def on_downlink(self, packet: Packet) -> None:
+        self.packets_processed += 1
+        if self.forward_downlink is not None:
+            self.forward_downlink(packet)
+
+    def on_uplink(self, packet: Packet) -> None:
+        self.packets_processed += 1
+        if self.forward_uplink is not None:
+            self.forward_uplink(packet)

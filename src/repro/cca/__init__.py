@@ -1,0 +1,58 @@
+"""Congestion control algorithms.
+
+Window-based CCAs (CUBIC, BBR, Copa, ABC-sender) plug into the TCP-like
+transport; the rate-based GCC plugs into the RTP sender. The ABC router
+half lives here too (:class:`AbcRouter`) since it is the network side of
+a host-router co-designed CCA.
+"""
+
+from repro.cca.base import WindowCca, RateCca
+from repro.cca.cubic import CubicCca
+from repro.cca.bbr import BbrCca
+from repro.cca.copa import CopaCca
+from repro.cca.gcc import GccController
+from repro.cca.nada import NadaController
+from repro.cca.scream import ScreamController
+from repro.cca.abc import AbcSenderCca, AbcRouter
+
+__all__ = [
+    "WindowCca",
+    "RateCca",
+    "CubicCca",
+    "BbrCca",
+    "CopaCca",
+    "GccController",
+    "NadaController",
+    "ScreamController",
+    "make_rate_cca",
+    "AbcSenderCca",
+    "AbcRouter",
+    "make_window_cca",
+]
+
+
+def make_window_cca(name: str, mss: int = 1448) -> WindowCca:
+    """Factory for window-based CCAs by scenario name."""
+    kinds = {
+        "cubic": CubicCca,
+        "bbr": BbrCca,
+        "copa": CopaCca,
+        "abc": AbcSenderCca,
+    }
+    if name not in kinds:
+        raise ValueError(f"unknown CCA {name!r}; expected one of {sorted(kinds)}")
+    return kinds[name](mss=mss)
+
+
+def make_rate_cca(name: str, initial_bps: float = 1e6,
+                  max_bps: float = 50e6):
+    """Factory for rate-based (RTP) CCAs by scenario name."""
+    kinds = {
+        "gcc": GccController,
+        "nada": NadaController,
+        "scream": ScreamController,
+    }
+    if name not in kinds:
+        raise ValueError(f"unknown rate CCA {name!r}; "
+                         f"expected one of {sorted(kinds)}")
+    return kinds[name](initial_bps=initial_bps, max_bps=max_bps)

@@ -1,0 +1,73 @@
+"""CCA plug-in interfaces.
+
+``WindowCca`` is the contract the TCP-like transport drives: it exposes a
+congestion window in bytes and receives ACK/loss/RTO notifications.
+``RateCca`` is the contract the RTP sender drives: it exposes a target
+bitrate and receives periodic in-band feedback reports.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+class WindowCca(abc.ABC):
+    """Window-based congestion control driven by the TCP transport."""
+
+    def __init__(self, mss: int = 1448):
+        self.mss = mss
+        self.cwnd = 10 * mss  # bytes
+
+    @abc.abstractmethod
+    def on_ack(self, now: float, rtt: float, acked_bytes: int) -> None:
+        """A new cumulative ACK arrived carrying an RTT sample."""
+
+    @abc.abstractmethod
+    def on_loss(self, now: float) -> None:
+        """Fast-retransmit-detected loss (once per loss event)."""
+
+    def on_rto(self, now: float) -> None:
+        """Retransmission timeout: collapse to one segment by default."""
+        self.cwnd = 2 * self.mss
+
+    def on_explicit_feedback(self, now: float, mark: str) -> None:
+        """Explicit per-ACK feedback (ABC accelerate/brake). Default: ignore."""
+
+    @property
+    def cwnd_packets(self) -> float:
+        return self.cwnd / self.mss
+
+    def pacing_rate(self, srtt: float) -> float | None:
+        """Optional pacing rate in bps; None means send window-limited."""
+        return None
+
+
+@dataclass
+class FeedbackPacketReport:
+    """One data packet's fate, as reported by in-band (TWCC) feedback."""
+
+    seq: int
+    size: int
+    send_time: float
+    recv_time: float | None  # None = lost
+
+
+class RateCca(abc.ABC):
+    """Rate-based congestion control driven by the RTP sender."""
+
+    def __init__(self, initial_bps: float = 1e6,
+                 min_bps: float = 150e3, max_bps: float = 50e6):
+        if initial_bps <= 0:
+            raise ValueError(f"initial rate must be positive: {initial_bps}")
+        self.target_bps = initial_bps
+        self.min_bps = min_bps
+        self.max_bps = max_bps
+
+    @abc.abstractmethod
+    def on_feedback(self, now: float,
+                    reports: list[FeedbackPacketReport]) -> None:
+        """A feedback packet (e.g. TWCC) arrived with per-packet reports."""
+
+    def _clamp(self) -> None:
+        self.target_bps = min(self.max_bps, max(self.min_bps, self.target_bps))

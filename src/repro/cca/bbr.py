@@ -1,0 +1,124 @@
+"""BBR v1-style congestion control (Cardwell et al. 2016), simplified.
+
+Model-based: tracks the bottleneck bandwidth (windowed-max delivery
+rate) and the minimum RTT, paces at ``pacing_gain * btl_bw`` and caps
+the window at ``cwnd_gain * BDP``. The ProbeBW gain cycle and a periodic
+ProbeRTT are retained; the startup/drain phases are modelled with the
+standard 2.89 gain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cca.base import WindowCca
+
+PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class BbrCca(WindowCca):
+    """Simplified flow-level BBR."""
+
+    STARTUP_GAIN = 2.885
+    CWND_GAIN = 2.0
+    MIN_RTT_WINDOW = 10.0
+    BW_WINDOW_ROUNDS = 10
+
+    def __init__(self, mss: int = 1448):
+        super().__init__(mss=mss)
+        self._min_rtt = float("inf")
+        self._min_rtt_stamp = 0.0
+        self._bw_samples: deque[tuple[float, float]] = deque()  # (time, bps)
+        self._delivered_bytes = 0
+        self._last_ack_time = -1.0
+        self._mode = "startup"
+        self._cycle_index = 0
+        self._cycle_stamp = 0.0
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self._probe_rtt_done_at = 0.0
+
+    # -- model maintenance ---------------------------------------------------
+
+    @property
+    def btl_bw(self) -> float:
+        if not self._bw_samples:
+            return 10 * self.mss * 8 / 0.1  # initial guess: 10 pkts / 100 ms
+        return max(bw for _, bw in self._bw_samples)
+
+    @property
+    def min_rtt(self) -> float:
+        return self._min_rtt if self._min_rtt != float("inf") else 0.1
+
+    def _update_bw(self, now: float, acked_bytes: int) -> None:
+        if self._last_ack_time >= 0 and now > self._last_ack_time:
+            rate = acked_bytes * 8 / (now - self._last_ack_time)
+            self._bw_samples.append((now, rate))
+        self._last_ack_time = now
+        horizon = now - self.BW_WINDOW_ROUNDS * self.min_rtt
+        while self._bw_samples and self._bw_samples[0][0] < horizon:
+            self._bw_samples.popleft()
+
+    def _update_min_rtt(self, now: float, rtt: float) -> None:
+        if rtt <= self._min_rtt or now - self._min_rtt_stamp > self.MIN_RTT_WINDOW:
+            self._min_rtt = rtt
+            self._min_rtt_stamp = now
+
+    # -- state machine ---------------------------------------------------------
+
+    def _pacing_gain(self) -> float:
+        if self._mode == "startup":
+            return self.STARTUP_GAIN
+        if self._mode == "drain":
+            return 1.0 / self.STARTUP_GAIN
+        if self._mode == "probe_rtt":
+            return 1.0
+        return PROBE_BW_GAINS[self._cycle_index]
+
+    def _advance_state(self, now: float) -> None:
+        if self._mode == "startup":
+            bw = self.btl_bw
+            if bw > self._full_bw * 1.25:
+                self._full_bw = bw
+                self._full_bw_rounds = 0
+            else:
+                self._full_bw_rounds += 1
+                if self._full_bw_rounds >= 3:
+                    self._mode = "drain"
+        elif self._mode == "drain":
+            bdp = self.btl_bw * self.min_rtt / 8
+            if self.cwnd <= bdp * 1.1:
+                self._mode = "probe_bw"
+                self._cycle_stamp = now
+        elif self._mode == "probe_bw":
+            if now - self._cycle_stamp > self.min_rtt:
+                self._cycle_index = (self._cycle_index + 1) % len(PROBE_BW_GAINS)
+                self._cycle_stamp = now
+            if now - self._min_rtt_stamp > self.MIN_RTT_WINDOW:
+                self._mode = "probe_rtt"
+                self._probe_rtt_done_at = now + 0.2
+        elif self._mode == "probe_rtt":
+            if now >= self._probe_rtt_done_at:
+                self._min_rtt_stamp = now
+                self._mode = "probe_bw"
+                self._cycle_stamp = now
+
+    # -- WindowCca interface -----------------------------------------------------
+
+    def on_ack(self, now: float, rtt: float, acked_bytes: int) -> None:
+        self._update_min_rtt(now, rtt)
+        self._update_bw(now, acked_bytes)
+        self._advance_state(now)
+        if self._mode == "probe_rtt":
+            self.cwnd = 4 * self.mss
+            return
+        bdp_bytes = self.btl_bw * self.min_rtt / 8
+        gain = self.CWND_GAIN if self._mode != "startup" else self.STARTUP_GAIN
+        self.cwnd = max(4 * self.mss, int(gain * bdp_bytes))
+
+    def on_loss(self, now: float) -> None:
+        # BBR v1 mostly ignores individual losses; cap mild reaction.
+        self.cwnd = max(4 * self.mss, int(self.cwnd * 0.95))
+
+    def pacing_rate(self, srtt: float) -> float | None:
+        return self._pacing_gain() * self.btl_bw

@@ -1,0 +1,77 @@
+"""CUBIC congestion control (Ha, Rhee, Xu 2008).
+
+Used as the bulk-transfer competitor in the flow-competition and
+interference experiments, and as one of the CCAs of Fig. 4. Buffer
+filling by design — the paper uses it to show what Zhuge does *not*
+target.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import WindowCca
+
+
+class CubicCca(WindowCca):
+    """Standard cubic window growth with fast-convergence and a Reno floor."""
+
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, mss: int = 1448):
+        super().__init__(mss=mss)
+        self._w_max = 0.0          # window (packets) before the last loss
+        self._epoch_start = -1.0
+        self._k = 0.0
+        self._ack_count = 0
+        self._reno_window = self.cwnd / mss
+        self._in_slow_start = True
+        self._ssthresh = float("inf")
+
+    def on_ack(self, now: float, rtt: float, acked_bytes: int) -> None:
+        cwnd_pkts = self.cwnd / self.mss
+        if self._in_slow_start and cwnd_pkts < self._ssthresh:
+            self.cwnd += acked_bytes
+            return
+        self._in_slow_start = False
+        if self._epoch_start < 0:
+            self._epoch_start = now
+            if cwnd_pkts < self._w_max:
+                self._k = ((self._w_max - cwnd_pkts) / self.C) ** (1.0 / 3.0)
+            else:
+                self._k = 0.0
+                self._w_max = cwnd_pkts
+            self._reno_window = cwnd_pkts
+            self._ack_count = 0
+
+        t = now - self._epoch_start + rtt
+        target = self._w_max + self.C * (t - self._k) ** 3
+
+        # TCP-friendly (Reno) lower bound.
+        self._ack_count += 1
+        reno = self._reno_window + 3.0 * (1.0 - self.BETA) / (
+            1.0 + self.BETA) * self._ack_count / max(cwnd_pkts, 1.0)
+        target = max(target, reno)
+
+        if target > cwnd_pkts:
+            increment = (target - cwnd_pkts) / max(cwnd_pkts, 1.0)
+            self.cwnd += int(increment * self.mss)
+        else:
+            self.cwnd += max(1, int(self.mss / (100.0 * max(cwnd_pkts, 1.0))))
+
+    def on_loss(self, now: float) -> None:
+        cwnd_pkts = self.cwnd / self.mss
+        # Fast convergence: release bandwidth faster when shrinking.
+        if cwnd_pkts < self._w_max:
+            self._w_max = cwnd_pkts * (1.0 + self.BETA) / 2.0
+        else:
+            self._w_max = cwnd_pkts
+        self.cwnd = max(2 * self.mss, int(self.cwnd * self.BETA))
+        self._ssthresh = self.cwnd / self.mss
+        self._in_slow_start = False
+        self._epoch_start = -1.0
+
+    def on_rto(self, now: float) -> None:
+        self._ssthresh = max(2.0, (self.cwnd / self.mss) / 2.0)
+        self.cwnd = 2 * self.mss
+        self._in_slow_start = True
+        self._epoch_start = -1.0

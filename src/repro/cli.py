@@ -1,0 +1,162 @@
+"""Command-line interface: run scenarios and inspect traces.
+
+Usage::
+
+    python -m repro run --trace W1 --protocol rtp --ap zhuge --duration 30
+    python -m repro compare --trace W1 --protocol rtp --duration 30
+    python -m repro trace --family W2 --duration 60 --out w2.json
+    python -m repro trace-stats w2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.stats import percentile
+from repro.traces.synthetic import (TRACE_NAMES, abc_legacy_trace,
+                                    ethernet_trace, make_trace)
+from repro.traces.trace import BandwidthTrace
+
+
+def _load_trace(args) -> BandwidthTrace:
+    if getattr(args, "trace_file", None):
+        return BandwidthTrace.load(args.trace_file)
+    family = args.trace
+    if family == "eth":
+        return ethernet_trace(duration=args.duration + 5, seed=args.seed)
+    if family == "abc-legacy":
+        return abc_legacy_trace(duration=args.duration + 5, seed=args.seed)
+    return make_trace(family, duration=args.duration + 5, seed=args.seed)
+
+
+def _config_from_args(args, ap_mode: str) -> ScenarioConfig:
+    return ScenarioConfig(
+        trace=_load_trace(args),
+        protocol=args.protocol,
+        cca=args.cca,
+        ap_mode=ap_mode,
+        queue_kind=args.queue,
+        duration=args.duration,
+        seed=args.seed,
+        max_bps=args.max_mbps * 1e6,
+        competitors=args.competitors,
+        interferers=args.interferers,
+    )
+
+
+def _summarize(label: str, result) -> list[str]:
+    flow = result.flows[0]
+    lines = [f"--- {label} ---"]
+    if flow.rtt.count:
+        lines.append(f"  P50 / P99 RTT:      "
+                     f"{percentile(flow.rtt.rtts, 50) * 1000:6.0f} ms / "
+                     f"{percentile(flow.rtt.rtts, 99) * 1000:.0f} ms")
+    lines.append(f"  RTT > 200 ms:       {flow.rtt.tail_ratio() * 100:6.2f}%")
+    lines.append(f"  frame delay >400ms: "
+                 f"{flow.frames.delayed_ratio() * 100:6.2f}%")
+    lines.append(f"  frames decoded:     {flow.frames.count:6d}")
+    lines.append(f"  goodput:            "
+                 f"{flow.goodput_bps / 1e6:6.2f} Mbps")
+    return lines
+
+
+def cmd_run(args) -> int:
+    result = run_scenario(_config_from_args(args, args.ap))
+    print("\n".join(_summarize(
+        f"{args.protocol}/{args.cca} over {args.trace}, AP={args.ap}",
+        result)))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    for ap_mode in ("none", "zhuge"):
+        result = run_scenario(_config_from_args(args, ap_mode))
+        print("\n".join(_summarize(f"AP mode: {ap_mode}", result)))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.family == "eth":
+        trace = ethernet_trace(duration=args.duration, seed=args.seed)
+    elif args.family == "abc-legacy":
+        trace = abc_legacy_trace(duration=args.duration, seed=args.seed)
+    else:
+        trace = make_trace(args.family, duration=args.duration,
+                           seed=args.seed)
+    trace.save(args.out)
+    print(f"wrote {args.out}: {len(trace)} samples, "
+          f"mean {trace.mean_bps / 1e6:.1f} Mbps")
+    return 0
+
+
+def cmd_trace_stats(args) -> int:
+    from repro.traces.abw import reduction_tail_fraction
+    trace = BandwidthTrace.load(args.file)
+    print(f"{trace.name}: {len(trace)} samples x {trace.interval * 1000:.0f} ms")
+    print(f"  mean: {trace.mean_bps / 1e6:.2f} Mbps")
+    print(f"  min/max: {min(trace.rates_bps) / 1e6:.2f} / "
+          f"{max(trace.rates_bps) / 1e6:.2f} Mbps")
+    for threshold in (2.0, 5.0, 10.0):
+        fraction = reduction_tail_fraction(trace, threshold)
+        print(f"  P(ABW drop >= {threshold:g}x): {fraction * 100:.2f}%")
+    return 0
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default="W1",
+                        choices=list(TRACE_NAMES) + ["eth", "abc-legacy"])
+    parser.add_argument("--trace-file", default=None,
+                        help="JSON trace file (overrides --trace)")
+    parser.add_argument("--protocol", default="rtp", choices=("rtp", "tcp"))
+    parser.add_argument("--cca", default="gcc",
+                        help="gcc/nada/scream (rtp) or copa/bbr/cubic/abc (tcp)")
+    parser.add_argument("--queue", default="fifo",
+                        choices=("fifo", "codel", "fq_codel"))
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--max-mbps", type=float, default=4.0)
+    parser.add_argument("--competitors", type=int, default=0)
+    parser.add_argument("--interferers", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Zhuge (SIGCOMM 2022) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    _add_scenario_args(run_parser)
+    run_parser.add_argument("--ap", default="zhuge",
+                            choices=("none", "zhuge", "fastack", "abc"))
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare",
+                                    help="run plain AP vs Zhuge AP")
+    _add_scenario_args(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    trace_parser = sub.add_parser("trace", help="generate a trace file")
+    trace_parser.add_argument("--family", default="W1",
+                              choices=list(TRACE_NAMES) + ["eth",
+                                                           "abc-legacy"])
+    trace_parser.add_argument("--duration", type=float, default=60.0)
+    trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--out", required=True)
+    trace_parser.set_defaults(func=cmd_trace)
+
+    stats_parser = sub.add_parser("trace-stats",
+                                  help="summarize a trace file")
+    stats_parser.add_argument("file")
+    stats_parser.set_defaults(func=cmd_trace_stats)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Out-of-band Feedback Updater: delaying ACKs (§5.2, Algorithms 1-2).
+
+On each downlink data-packet arrival, the updater computes the delay
+delta against the previous packet's predicted total delay. Non-negative
+deltas enter a sliding-window history; negative deltas are banked as
+*tokens* (an ACK cannot be delayed by a negative amount).
+
+On each uplink feedback-packet arrival, the updater:
+
+1. clamps the earliest send time to the previous ACK's send time
+   (order preservation),
+2. samples one delta from the recent-delta distribution
+   (distributional equivalence, not per-packet mapping),
+3. spends banked tokens against the sampled delay so the *average*
+   injected delay matches the average predicted delta,
+4. schedules the ACK's forwarding after the resulting delay.
+
+The updater never parses transport payloads — it identifies flows by
+five-tuple only, so it works for encrypted QUIC exactly as for TCP.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.fortune_teller import FortuneTeller
+from repro.core.sliding_window import DEFAULT_WINDOW, DelayDeltaHistory
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.sim.random import DeterministicRandom
+
+
+class FeedbackKind(enum.Enum):
+    """Table 2's protocol classification."""
+
+    OUT_OF_BAND = "out-of-band"  # TCP, QUIC: ACK arrival timing is the signal
+    IN_BAND = "in-band"          # RTP/RTCP: feedback payload carries timings
+
+
+def classify_protocol(protocol: str) -> FeedbackKind:
+    """Map a protocol name to its feedback mechanism (paper Table 2)."""
+    mapping = {
+        "tcp": FeedbackKind.OUT_OF_BAND,
+        "quic": FeedbackKind.OUT_OF_BAND,
+        "rtp": FeedbackKind.IN_BAND,
+        "rtcp": FeedbackKind.IN_BAND,
+        "webrtc": FeedbackKind.IN_BAND,
+    }
+    key = protocol.lower()
+    if key not in mapping:
+        raise ValueError(f"unknown protocol {protocol!r}; "
+                         f"expected one of {sorted(mapping)}")
+    return mapping[key]
+
+
+class OutOfBandFeedbackUpdater:
+    """Delays uplink ACKs to carry predicted downlink delay deltas."""
+
+    def __init__(self, sim: Simulator, fortune_teller: FortuneTeller,
+                 rng: Optional[DeterministicRandom] = None,
+                 window: float = DEFAULT_WINDOW,
+                 use_tokens: bool = True,
+                 distributional: bool = True,
+                 max_extra_delay: float = 0.5):
+        self.sim = sim
+        self.fortune_teller = fortune_teller
+        self.use_tokens = use_tokens
+        self.distributional = distributional
+        self.max_extra_delay = max_extra_delay
+        self.delta_history = DelayDeltaHistory(
+            window, rng or DeterministicRandom(0))
+        self.token_history: deque[float] = deque()
+        self._last_total_delay: Optional[float] = None
+        self._last_sent_time = 0.0
+        self._pending_deltas: deque[float] = deque()  # non-distributional mode
+        self.acks_delayed = 0
+        self.total_injected_delay = 0.0
+
+    # -- Algorithm 1: on downlink data packets --------------------------------
+
+    def on_data_packet(self, packet: Packet) -> float:
+        """Predict the packet's fortune; bank the delta. Returns the delta."""
+        prediction = self.fortune_teller.observe_arrival(packet)
+        current = prediction.total
+        if self._last_total_delay is None:
+            self._last_total_delay = current
+            return 0.0
+        delta = current - self._last_total_delay
+        self._last_total_delay = current
+        if delta >= 0:
+            self.delta_history.push(self.sim.now, delta)
+            if not self.distributional:
+                self._pending_deltas.append(delta)
+        elif self.use_tokens:
+            self.token_history.append(-delta)
+        return delta
+
+    # -- Algorithm 2: on uplink feedback packets ---------------------------------
+
+    def ack_delay(self, arrival_time: float) -> float:
+        """Compute how long to hold the ACK that just arrived.
+
+        Three goals from §5.2, reconciled:
+
+        * *order preservation* — release times never go backwards; an ACK
+          arriving while the previous one is still held waits for it;
+        * *no RTT overestimation* — the ordering wait is NOT fed back
+          into the delay ledger, so one large sampled delta delays its
+          immediate successors but does not ratchet all later ACKs
+          (tokens additionally cancel sampled deltas);
+        * *distributional equivalence* — the extra delay is sampled from
+          the recent downlink delay-delta distribution.
+        """
+        if self.distributional:
+            extra = self.delta_history.sample(arrival_time)
+        elif self._pending_deltas:
+            extra = self._pending_deltas.popleft()
+        else:
+            extra = 0.0
+
+        # Spend banked tokens against the sampled delay.
+        while self.use_tokens and self.token_history and extra > 0:
+            front = self.token_history[0]
+            if front > extra:
+                self.token_history[0] = front - extra
+                extra = 0.0
+                break
+            extra -= front
+            self.token_history.popleft()
+
+        extra = min(extra, self.max_extra_delay)
+        release = max(arrival_time + extra, self._last_sent_time)
+        self._last_sent_time = release
+        return release - arrival_time
+
+    def on_feedback_packet(self, packet: Packet,
+                           forward: Callable[[Packet], None]) -> None:
+        """Hold the ACK for the computed delay, then forward it."""
+        if packet.kind not in (PacketKind.ACK, PacketKind.RTCP_TWCC,
+                               PacketKind.RTCP_OTHER):
+            forward(packet)
+            return
+        delay = self.ack_delay(self.sim.now)
+        self.acks_delayed += 1
+        self.total_injected_delay += delay
+        if delay <= 0:
+            forward(packet)
+        else:
+            self.sim.schedule(delay, lambda p=packet: forward(p))
+
+    @property
+    def outstanding_tokens(self) -> float:
+        return sum(self.token_history)

@@ -1,0 +1,204 @@
+"""Fortune Teller: per-packet delay prediction on AP arrival (§4).
+
+``totalDelay = qLong + qShort + tx`` where
+
+* ``qLong  = cur(qSize) / avg(txRate)`` — long-term queuing delay, with
+  ``qSize = max(bytesInQueue - maxBurstSize, 0)`` (Eq. 1) discounting
+  packets that will leave in the current link-layer burst;
+* ``qShort = cur(qFrontWaitTime)`` — how long the head packet has
+  already waited, the earliest observable signal of an ABW drop;
+* ``tx     = avg(dequeueIntvl)`` — link-layer transmission delay,
+  measured as the mean inter-departure interval (ignoring sub-1 ms
+  intervals inside one AMPDU).
+
+The teller attaches to a queue's callbacks; with FQ-CoDel it attaches to
+the RTC flow's own sub-queue (§4.1, "Calculation with queue
+disciplines").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.sliding_window import (
+    DEFAULT_WINDOW,
+    BurstSizeTracker,
+    DequeueIntervalEstimator,
+    SlidingWindowRate,
+)
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class DelayPrediction:
+    """The decomposed fortune of one packet."""
+
+    q_long: float
+    q_short: float
+    tx: float
+
+    @property
+    def total(self) -> float:
+        return self.q_long + self.q_short + self.tx
+
+
+@dataclass
+class PredictionRecord:
+    """Predicted vs (later) actual delay, for the Fig. 19 accuracy study."""
+
+    pkt_id: int
+    predicted: float
+    arrival_time: float
+    actual: Optional[float] = None
+
+
+class FortuneTeller:
+    """Per-packet delay predictor attached to one queue.
+
+    Call :meth:`observe_arrival` when a downlink packet of the target
+    flow arrives at the AP (before it is enqueued is fine — qSize is read
+    from the queue at call time), and wire ``queue.on_departure`` to
+    :meth:`observe_departure` so the estimators see the dequeue stream.
+    """
+
+    def __init__(self, sim: Simulator, queue: DropTailQueue,
+                 window: float = DEFAULT_WINDOW,
+                 burst_correction: bool = True,
+                 record_predictions: bool = False,
+                 flow=None,
+                 min_estimation_interval: float = 0.0):
+        self.sim = sim
+        self.queue = queue
+        # §4.1, "Calculation with queue disciplines": with flow-isolating
+        # disciplines (fq_codel, per-UE cellular queues) the teller must
+        # read the statistics of the RTC flow's own sub-queue, not the
+        # aggregate. When ``flow`` is set and the queue exposes
+        # ``flow_queue``, qSize/qFrontWaitTime come from the sub-queue
+        # and only this flow's departures feed the rate estimators.
+        self.flow = flow
+        self.burst_correction = burst_correction
+        self.tx_rate = SlidingWindowRate(window)
+        # Fallback for deep stalls: when the 40 ms window saw no
+        # departures at all (the channel is the problem, not the lack of
+        # traffic), a 10x longer window still carries a usable drain-rate
+        # estimate. Without it qLong would read zero exactly when the
+        # queue is most congested.
+        self.tx_rate_long = SlidingWindowRate(window * 10)
+        self.dequeue_intervals = DequeueIntervalEstimator(window)
+        self.burst_tracker = BurstSizeTracker()
+        self.record_predictions = record_predictions
+        # §7.6 CPU optimization: with a positive interval, predictions
+        # within ``min_estimation_interval`` of the previous one reuse it
+        # instead of recomputing ("Zhuge could selectively update the
+        # network conditions ... as long as the interval is negligible").
+        self.min_estimation_interval = min_estimation_interval
+        self._cached_prediction: Optional[DelayPrediction] = None
+        self._cached_at = -1.0
+        self.cache_hits = 0
+        self.records: dict[int, PredictionRecord] = {}
+        self.predictions_made = 0
+        queue.on_departure.append(self._on_queue_departure)
+
+    # -- departure-side measurement ----------------------------------------
+
+    def _on_queue_departure(self, packet: Packet, queue: DropTailQueue) -> None:
+        if self.flow is not None and packet.flow != self.flow:
+            return
+        self.observe_departure(packet)
+
+    def observe_departure(self, packet: Packet) -> None:
+        # Trust the queue's dequeue stamp: it is the authoritative departure
+        # time even when the queue is driven outside the event loop.
+        now = packet.dequeued_at if packet.dequeued_at is not None else self.sim.now
+        self.tx_rate.record(now, packet.size)
+        self.tx_rate_long.record(now, packet.size)
+        self.dequeue_intervals.record_departure(now)
+        self.burst_tracker.record_departure(now, packet.size)
+
+    # -- arrival-side prediction ----------------------------------------------
+
+    def _observed_queue(self) -> DropTailQueue:
+        """The queue whose state this teller reads (flow sub-queue when
+        the discipline isolates flows)."""
+        if self.flow is not None and hasattr(self.queue, "flow_queue"):
+            sub = self.queue.flow_queue(self.flow)
+            if sub is not None:
+                return sub
+        return self.queue
+
+    def predict(self) -> DelayPrediction:
+        """Predict the remaining delay of a packet arriving right now."""
+        now = self.sim.now
+        if (self.min_estimation_interval > 0
+                and self._cached_prediction is not None
+                and now - self._cached_at < self.min_estimation_interval):
+            self.cache_hits += 1
+            return self._cached_prediction
+        observed = self._observed_queue()
+        q_size = observed.byte_length
+        if self.flow is not None and observed is self.queue and hasattr(
+                self.queue, "flow_queue"):
+            # Flow-isolating queue with no sub-queue yet: nothing queued.
+            q_size = 0
+        if self.burst_correction:
+            q_size = max(q_size - self.burst_tracker.max_burst_bytes(now), 0)
+        rate = self.tx_rate.rate_bps(now)
+        if rate <= 0:
+            rate = self.tx_rate_long.rate_bps(now)
+        q_long = (q_size * 8 / rate) if rate > 0 else 0.0
+        q_short = observed.front_wait_time(now)
+        if self.flow is not None and observed is self.queue and hasattr(
+                self.queue, "flow_queue"):
+            q_short = 0.0
+        tx = self.dequeue_intervals.average_interval(now)
+        self.predictions_made += 1
+        prediction = DelayPrediction(q_long, q_short, tx)
+        self._cached_prediction = prediction
+        self._cached_at = now
+        return prediction
+
+    def observe_arrival(self, packet: Packet) -> DelayPrediction:
+        """Predict a specific arriving packet's fortune (and track it)."""
+        prediction = self.predict()
+        if self.record_predictions:
+            self.records[packet.pkt_id] = PredictionRecord(
+                packet.pkt_id, prediction.total, self.sim.now)
+        return prediction
+
+    def observe_delivery(self, packet: Packet) -> None:
+        """Record the packet's actual delay once it reaches the client."""
+        record = self.records.get(packet.pkt_id)
+        if record is not None:
+            record.actual = self.sim.now - record.arrival_time
+
+    def accuracy_pairs(self) -> list[tuple[float, float]]:
+        """(predicted, actual) pairs for delivered packets (Fig. 19)."""
+        return [(r.predicted, r.actual) for r in self.records.values()
+                if r.actual is not None]
+
+
+class NaiveQueueEstimator:
+    """The strawman of §3.1: ``delay = qSize / avg(txRate)`` only.
+
+    Kept for the estimator ablation bench: it misses sub-RTT fluctuation
+    (no qShort) and over-counts burst departures (no Eq. 1 correction).
+    """
+
+    def __init__(self, sim: Simulator, queue: DropTailQueue,
+                 window: float = DEFAULT_WINDOW):
+        self.sim = sim
+        self.queue = queue
+        self.tx_rate = SlidingWindowRate(window)
+        queue.on_departure.append(self._on_departure)
+
+    def _on_departure(self, packet: Packet, queue: DropTailQueue) -> None:
+        now = packet.dequeued_at if packet.dequeued_at is not None else self.sim.now
+        self.tx_rate.record(now, packet.size)
+
+    def predict(self) -> DelayPrediction:
+        rate = self.tx_rate.rate_bps(self.sim.now)
+        q_long = (self.queue.byte_length * 8 / rate) if rate > 0 else 0.0
+        return DelayPrediction(q_long, 0.0, 0.0)

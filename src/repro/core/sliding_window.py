@@ -1,0 +1,182 @@
+"""Sliding-window building blocks of the Fortune Teller and Feedback Updater.
+
+The paper sets the window to 40 ms — roughly one frame interval of a
+25 fps stream — so that the average covers at least one sender burst
+(§4.2) while still tracking sub-RTT fluctuation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.sim.random import DeterministicRandom
+
+DEFAULT_WINDOW = 0.040
+
+
+class SlidingWindowRate:
+    """Average rate (bps) of recorded byte events over a sliding window."""
+
+    def __init__(self, window: float = DEFAULT_WINDOW):
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        self.window = window
+        self._events: deque[tuple[float, int]] = deque()
+        self._bytes_in_window = 0
+
+    def record(self, now: float, nbytes: int) -> None:
+        self._events.append((now, nbytes))
+        self._bytes_in_window += nbytes
+        self._expire(now)
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        while self._events and self._events[0][0] < horizon:
+            _, nbytes = self._events.popleft()
+            self._bytes_in_window -= nbytes
+
+    def rate_bps(self, now: float) -> float:
+        """Average rate over the window; 0 when no events are in window."""
+        self._expire(now)
+        if not self._events:
+            return 0.0
+        return self._bytes_in_window * 8 / self.window
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+
+class DequeueIntervalEstimator:
+    """Average interval between packet departures (the ``tx`` estimator).
+
+    Intervals below ``min_interval`` (default 1 ms) are treated as parts
+    of one aggregated AMPDU departure and skipped, per §4.2: "we do not
+    calculate the intervals that are less than one millisecond".
+
+    Intervals above ``max_interval`` (default 30 ms) are idle gaps of an
+    app-limited flow (e.g. the 40 ms spacing between video frames), not
+    transmission time, and are skipped too — §4.2 requires the window to
+    "cover at least two bursts from the sender so that packets are
+    continuously measured"; counting idle gaps would report the frame
+    interval as link-layer delay and destabilize delay-based CCAs.
+    """
+
+    def __init__(self, window: float = DEFAULT_WINDOW,
+                 min_interval: float = 0.001,
+                 max_interval: float = 0.030):
+        self.window = window
+        self.min_interval = min_interval
+        self.max_interval = max_interval
+        self._intervals: deque[tuple[float, float]] = deque()
+        self._last_departure: Optional[float] = None
+
+    def record_departure(self, now: float) -> None:
+        if self._last_departure is not None:
+            interval = now - self._last_departure
+            if self.min_interval <= interval <= self.max_interval:
+                self._intervals.append((now, interval))
+        self._last_departure = now
+        self._expire(now)
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        while self._intervals and self._intervals[0][0] < horizon:
+            self._intervals.popleft()
+
+    def average_interval(self, now: float) -> float:
+        """Mean qualifying interval in the window; 0 with no samples."""
+        self._expire(now)
+        if not self._intervals:
+            return 0.0
+        return sum(i for _, i in self._intervals) / len(self._intervals)
+
+
+class BurstSizeTracker:
+    """Maximum size of simultaneous departures at 1 ms resolution (Eq. 1).
+
+    Departures closer together than ``resolution`` belong to one burst;
+    the tracker reports the largest burst (bytes) seen in its window,
+    which the Fortune Teller subtracts from qSize.
+    """
+
+    def __init__(self, window: float = 1.0, resolution: float = 0.001):
+        self.window = window
+        self.resolution = resolution
+        self._bursts: deque[tuple[float, int]] = deque()  # (start, bytes)
+        self._current_start: Optional[float] = None
+        self._current_bytes = 0
+        self._last_departure: Optional[float] = None
+
+    def record_departure(self, now: float, nbytes: int) -> None:
+        if (self._last_departure is None
+                or now - self._last_departure >= self.resolution):
+            self._close_current()
+            self._current_start = now
+            self._current_bytes = nbytes
+        else:
+            self._current_bytes += nbytes
+        self._last_departure = now
+        self._expire(now)
+
+    def _close_current(self) -> None:
+        if self._current_start is not None:
+            self._bursts.append((self._current_start, self._current_bytes))
+        self._current_start = None
+        self._current_bytes = 0
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        while self._bursts and self._bursts[0][0] < horizon:
+            self._bursts.popleft()
+
+    def max_burst_bytes(self, now: float) -> int:
+        self._expire(now)
+        best = self._current_bytes
+        for _, nbytes in self._bursts:
+            best = max(best, nbytes)
+        return best
+
+
+class DelayDeltaHistory:
+    """Recent non-negative delay deltas, sampled distributionally (§5.2).
+
+    Rather than mapping one data-packet delta onto one ACK (impossible:
+    the streams are asynchronous), the updater keeps the distribution of
+    recent deltas and samples it per ACK, achieving distributional
+    equivalence between downlink delay increase and uplink ACK delays.
+    """
+
+    def __init__(self, window: float = DEFAULT_WINDOW,
+                 rng: Optional[DeterministicRandom] = None):
+        self.window = window
+        self.rng = rng or DeterministicRandom(0)
+        self._deltas: deque[tuple[float, float]] = deque()
+
+    def push(self, now: float, delta: float) -> None:
+        if delta < 0:
+            raise ValueError(f"delta history only stores non-negative: {delta}")
+        self._deltas.append((now, delta))
+        self._expire(now)
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        while self._deltas and self._deltas[0][0] < horizon:
+            self._deltas.popleft()
+
+    def sample(self, now: float) -> float:
+        """Random recent delta; 0.0 when the window is empty."""
+        self._expire(now)
+        if not self._deltas:
+            return 0.0
+        return self.rng.sample_from([d for _, d in self._deltas])
+
+    def mean(self, now: float) -> float:
+        self._expire(now)
+        if not self._deltas:
+            return 0.0
+        return sum(d for _, d in self._deltas) / len(self._deltas)
+
+    def __len__(self) -> int:
+        return len(self._deltas)

@@ -1,0 +1,143 @@
+"""ZhugeAP: the middlebox wiring Fortune Teller + Feedback Updater.
+
+Sits at the last-mile AP between the WAN port and the wireless downlink
+queue. For each registered RTC flow it:
+
+* intercepts downlink data packets, runs the Fortune Teller, updates the
+  Feedback Updater state, then forwards the packet to the wireless link
+  as usual;
+* intercepts uplink feedback packets of the same flow (matched by the
+  reversed five-tuple) and either delays them (out-of-band) or replaces
+  them with AP-constructed TWCC (in-band) before sending them up the
+  WAN.
+
+Non-registered flows pass through untouched — Zhuge only optimizes the
+flows on its configurable IP list (§7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.feedback_updater import (FeedbackKind,
+                                         OutOfBandFeedbackUpdater)
+from repro.core.fortune_teller import FortuneTeller
+from repro.core.inband import InBandFeedbackUpdater
+from repro.net.packet import FiveTuple, Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.random import DeterministicRandom
+
+ForwardCallback = Callable[[Packet], None]
+
+
+class ZhugeAP:
+    """Access point running Zhuge for a set of registered flows."""
+
+    def __init__(self, sim: Simulator, downlink_queue: DropTailQueue,
+                 rng: Optional[DeterministicRandom] = None,
+                 window: float = 0.040,
+                 record_predictions: bool = False):
+        self.sim = sim
+        self.downlink_queue = downlink_queue
+        self.rng = rng or DeterministicRandom(0)
+        self.window = window
+        self.record_predictions = record_predictions
+
+        # One shared Fortune Teller when every flow shares the queue.
+        # Flow-isolating disciplines (fq_codel) instead get a per-flow
+        # teller at registration (§4.1): the flow's delay depends on its
+        # own sub-queue and its own service share, not the aggregate.
+        self._flow_isolating = hasattr(downlink_queue, "flow_queue")
+        self.fortune_teller = FortuneTeller(
+            sim, downlink_queue, window=window,
+            record_predictions=record_predictions)
+        self._flow_tellers: dict[FiveTuple, FortuneTeller] = {}
+
+        self.forward_downlink: Optional[ForwardCallback] = None
+        self.forward_uplink: Optional[ForwardCallback] = None
+
+        self._oob: dict[FiveTuple, OutOfBandFeedbackUpdater] = {}
+        self._inband: dict[FiveTuple, InBandFeedbackUpdater] = {}
+        self.packets_processed = 0
+
+    # -- flow registration (the AP's configurable IP list) -------------------
+
+    def register_flow(self, flow: FiveTuple, kind: FeedbackKind) -> None:
+        """Enable Zhuge for ``flow`` (downlink direction five-tuple)."""
+        teller = self._teller_for(flow)
+        if kind is FeedbackKind.OUT_OF_BAND:
+            updater = OutOfBandFeedbackUpdater(
+                self.sim, teller,
+                rng=self.rng.fork(f"oob-{flow.src_port}-{flow.dst_port}"),
+                window=self.window)
+            self._oob[flow] = updater
+        else:
+            updater = InBandFeedbackUpdater(
+                self.sim, teller, flow,
+                feedback_interval=self.window)
+            updater.send_uplink = self._uplink_out
+            self._inband[flow] = updater
+
+    def _teller_for(self, flow: FiveTuple) -> FortuneTeller:
+        if not self._flow_isolating:
+            return self.fortune_teller
+        if flow not in self._flow_tellers:
+            self._flow_tellers[flow] = FortuneTeller(
+                self.sim, self.downlink_queue, window=self.window,
+                record_predictions=self.record_predictions, flow=flow)
+        return self._flow_tellers[flow]
+
+    def registered_kind(self, flow: FiveTuple) -> Optional[FeedbackKind]:
+        if flow in self._oob:
+            return FeedbackKind.OUT_OF_BAND
+        if flow in self._inband:
+            return FeedbackKind.IN_BAND
+        return None
+
+    def out_of_band_updater(self, flow: FiveTuple) -> OutOfBandFeedbackUpdater:
+        return self._oob[flow]
+
+    def in_band_updater(self, flow: FiveTuple) -> InBandFeedbackUpdater:
+        return self._inband[flow]
+
+    # -- datapath ----------------------------------------------------------------
+
+    def on_downlink(self, packet: Packet) -> None:
+        """A packet arrived from the WAN heading to the wireless client."""
+        self.packets_processed += 1
+        flow = packet.flow
+        if flow in self._oob:
+            self._oob[flow].on_data_packet(packet)
+        elif flow in self._inband:
+            self._inband[flow].on_data_packet(packet)
+        if self.forward_downlink is not None:
+            self.forward_downlink(packet)
+
+    def on_uplink(self, packet: Packet) -> None:
+        """A packet arrived from the client heading to the WAN."""
+        self.packets_processed += 1
+        downlink_flow = packet.flow.reversed()
+        if downlink_flow in self._oob:
+            self._oob[downlink_flow].on_feedback_packet(packet, self._uplink_out)
+        elif downlink_flow in self._inband:
+            self._inband[downlink_flow].on_feedback_packet(packet,
+                                                           self._uplink_out)
+        else:
+            self._uplink_out(packet)
+
+    def on_wireless_delivery(self, packet: Packet) -> None:
+        """The wireless hop delivered a packet (accuracy bookkeeping)."""
+        if self.record_predictions:
+            self.fortune_teller.observe_delivery(packet)
+            teller = self._flow_tellers.get(packet.flow)
+            if teller is not None:
+                teller.observe_delivery(packet)
+
+    def _uplink_out(self, packet: Packet) -> None:
+        if self.forward_uplink is not None:
+            self.forward_uplink(packet)
+
+    def stop(self) -> None:
+        for updater in self._inband.values():
+            updater.stop()

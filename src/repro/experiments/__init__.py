@@ -1,0 +1,9 @@
+"""Experiment harness: scenario builder and per-figure drivers."""
+
+from repro.experiments.scenario import (
+    ScenarioConfig,
+    ScenarioResult,
+    run_scenario,
+)
+
+__all__ = ["ScenarioConfig", "ScenarioResult", "run_scenario"]

@@ -1,0 +1,10 @@
+"""Per-figure experiment drivers.
+
+Each module reproduces one (or a family of) evaluation artifacts from
+the paper and returns structured rows; ``benchmarks/`` wraps these in
+pytest-benchmark targets and prints the tables.
+"""
+
+from repro.experiments.drivers.format import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,127 @@
+"""Fortune Teller accuracy drivers (Figs. 7 and 19).
+
+Fig. 7 is the illustrative time series: qLong and qShort responding to
+an ABW drop — qShort reacts within milliseconds, qLong takes over once
+the queue has built.
+
+Fig. 19 is the accuracy study: per-packet predicted vs actual delay,
+as an error distribution per trace plus a predicted-vs-real heatmap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.fortune_teller import FortuneTeller
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.net.packet import FiveTuple, Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.traces.synthetic import make_trace
+from repro.traces.trace import BandwidthTrace
+from repro.wireless.channel import WirelessChannel
+from repro.wireless.link import WirelessLink
+
+
+@dataclass
+class Fig7Point:
+    time_ms: float
+    q_long_ms: float
+    q_short_ms: float
+    tx_rate_mbps: float
+    queue_kb: float
+
+
+def fig7_qlong_qshort(drop_at_ms: float = 5.0,
+                      duration_ms: float = 30.0) -> list[Fig7Point]:
+    """Reproduce Fig. 7: estimator response to an ABW drop at t=5 ms.
+
+    A steady 20 Mbps packet stream flows through a wireless link whose
+    capacity collapses 20x at ``drop_at_ms``; we sample qLong and qShort
+    every 0.5 ms.
+    """
+    sim = Simulator()
+    trace = BandwidthTrace.from_steps(
+        [(drop_at_ms / 1000, 20e6),
+         ((duration_ms - drop_at_ms) / 1000, 1e6)], interval=0.0005)
+    queue = DropTailQueue(capacity_bytes=1_000_000)
+    link = WirelessLink(sim, WirelessChannel(trace), queue,
+                        max_ampdu_packets=4, per_txop_overhead=0.0001)
+    link.deliver = lambda p: None
+    teller = FortuneTeller(sim, queue, window=0.010)
+
+    flow = FiveTuple("s", "c", 1, 2)
+    interval = 1200 * 8 / 20e6  # packets arriving at exactly 20 Mbps
+
+    def send() -> None:
+        link.send(Packet(flow, 1200))
+        sim.schedule(interval, send)
+
+    points: list[Fig7Point] = []
+
+    def sample() -> None:
+        prediction = teller.predict()
+        points.append(Fig7Point(
+            time_ms=sim.now * 1000,
+            q_long_ms=prediction.q_long * 1000,
+            q_short_ms=prediction.q_short * 1000,
+            tx_rate_mbps=teller.tx_rate.rate_bps(sim.now) / 1e6,
+            queue_kb=queue.byte_length / 1000,
+        ))
+        if sim.now * 1000 < duration_ms:
+            sim.schedule(0.0005, sample)
+
+    sim.schedule(0.0, send)
+    sim.schedule(0.0, sample)
+    sim.run(until=duration_ms / 1000)
+    return points
+
+
+@dataclass
+class AccuracyResult:
+    trace: str
+    error_cdf: list[tuple[float, float]]   # (abs error seconds, P<=)
+    median_error: float
+    p90_error: float
+    heatmap: dict[tuple[int, int], int]    # (pred_bin, real_bin) -> count
+    pairs: int
+
+
+_BINS = (0.001, 0.004, 0.016, 0.064, 0.256, 10.0)
+
+
+def _bin_index(value: float) -> int:
+    for index, edge in enumerate(_BINS):
+        if value <= edge:
+            return index
+    return len(_BINS) - 1
+
+
+def fig19_prediction_accuracy(traces=("W1", "W2", "C1", "C2"),
+                              duration: float = 40.0,
+                              seed: int = 1) -> list[AccuracyResult]:
+    """Per-trace prediction error of the Fortune Teller under Zhuge."""
+    from repro.metrics.stats import cdf_points, percentile
+    results = []
+    for trace_name in traces:
+        trace = make_trace(trace_name, duration=duration, seed=seed)
+        config = ScenarioConfig(trace=trace, protocol="rtp",
+                                ap_mode="zhuge", duration=duration,
+                                seed=seed, record_predictions=True)
+        result = run_scenario(config)
+        pairs = result.prediction_pairs
+        errors = [abs(p - a) for p, a in pairs]
+        heatmap: dict[tuple[int, int], int] = {}
+        for predicted, actual in pairs:
+            key = (_bin_index(predicted), _bin_index(actual))
+            heatmap[key] = heatmap.get(key, 0) + 1
+        results.append(AccuracyResult(
+            trace=trace_name,
+            error_cdf=cdf_points(errors, points=30),
+            median_error=percentile(errors, 50) if errors else math.nan,
+            p90_error=percentile(errors, 90) if errors else math.nan,
+            heatmap=heatmap,
+            pairs=len(pairs),
+        ))
+    return results

@@ -1,0 +1,61 @@
+"""Fairness drivers (Fig. 20): internal and external fairness.
+
+Bars of the paper's Fig. 20:
+  (a) two RTC flows, neither optimized by Zhuge;
+  (b) two RTC flows, exactly one optimized (external fairness);
+  (c) two RTC flows, both optimized (internal fairness).
+
+We report each flow's goodput normalized by the link capacity, for both
+RTP/GCC and TCP/Copa. Zhuge must not let optimized flows starve the
+unoptimized one: per-flow shares in (b) stay within a few percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.stats import jain_fairness
+from repro.traces.trace import BandwidthTrace
+
+BARS = (
+    ("a: none optimized", (False, False)),
+    ("b: one optimized", (True, False)),
+    ("c: both optimized", (True, True)),
+)
+
+
+@dataclass
+class FairnessRow:
+    protocol: str
+    bar: str
+    flow_goodputs_bps: tuple[float, float]
+    normalized: tuple[float, float]
+    jain_index: float
+    bitrate_gap_ratio: float  # |g1-g2| / max(g1,g2)
+
+
+def fig20_fairness(duration: float = 60.0, seed: int = 1,
+                   capacity_bps: float = 10e6) -> list[FairnessRow]:
+    rows = []
+    trace = BandwidthTrace.constant(capacity_bps, duration, name="fair")
+    for protocol, cca in (("rtp", "gcc"), ("tcp", "copa")):
+        for bar, mask in BARS:
+            ap_mode = "zhuge" if any(mask) else "none"
+            config = ScenarioConfig(trace=trace, protocol=protocol, cca=cca,
+                                    ap_mode=ap_mode, duration=duration,
+                                    seed=seed, rtc_flows=2,
+                                    zhuge_flow_mask=mask,
+                                    max_bps=capacity_bps)
+            result = run_scenario(config)
+            goodputs = tuple(flow.goodput_bps for flow in result.flows)
+            normalized = tuple(g / capacity_bps for g in goodputs)
+            gap = (abs(goodputs[0] - goodputs[1]) / max(max(goodputs), 1.0))
+            rows.append(FairnessRow(
+                protocol=protocol, bar=bar,
+                flow_goodputs_bps=goodputs,
+                normalized=normalized,
+                jain_index=jain_fairness(list(goodputs)),
+                bitrate_gap_ratio=gap,
+            ))
+    return rows

@@ -1,0 +1,81 @@
+"""Testbed-scenario drivers (Fig. 18): scp / mcs / raw.
+
+The paper's §7.5 testbed streams WebRTC video through an OpenWrt AP and
+evaluates three scenarios; we reproduce them with the same scenario
+drivers on the simulated AP:
+
+* ``scp``  — a bulk transfer toggles on/off every 30 s,
+* ``mcs``  — the link-layer modulation scheme is re-picked randomly
+  every 30 s,
+* ``raw``  — a crowded-office channel (trace family W2), no extra load.
+
+Metrics: tail-RTT ratio, delayed-frame ratio, and the steady-state
+bitrate (Fig. 18c shows Zhuge keeps the bitrate, so the improvement is
+not bought with rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.traces.synthetic import make_trace
+from repro.traces.trace import BandwidthTrace
+
+SCHEMES = (
+    ("Gcc+FIFO", dict(ap_mode="none", queue_kind="fifo")),
+    ("Gcc+CoDel", dict(ap_mode="none", queue_kind="codel")),
+    ("Gcc+Zhuge", dict(ap_mode="zhuge", queue_kind="fifo")),
+)
+
+
+@dataclass
+class TestbedRow:
+    scenario: str
+    scheme: str
+    rtt_tail_ratio: float
+    delayed_frame_ratio: float
+    mean_bitrate_bps: float
+
+
+def _scenario_config(scenario: str, duration: float, seed: int,
+                     overrides: dict) -> ScenarioConfig:
+    if scenario == "scp":
+        trace = BandwidthTrace.constant(30e6, duration, name="steady30")
+        return ScenarioConfig(trace=trace, protocol="rtp",
+                              duration=duration, seed=seed,
+                              competitors=1, competitor_period=15.0,
+                              **overrides)
+    if scenario == "mcs":
+        trace = BandwidthTrace.constant(60e6, duration, name="steady60")
+        return ScenarioConfig(trace=trace, protocol="rtp",
+                              duration=duration, seed=seed,
+                              mcs_switch_period=10.0, **overrides)
+    if scenario == "raw":
+        trace = make_trace("W2", duration=duration, seed=seed)
+        return ScenarioConfig(trace=trace, protocol="rtp",
+                              duration=duration, seed=seed, **overrides)
+    raise ValueError(f"unknown testbed scenario {scenario!r}")
+
+
+def fig18_testbed(scenarios=("scp", "mcs", "raw"), duration: float = 60.0,
+                  seeds: tuple[int, ...] = (1, 2)) -> list[TestbedRow]:
+    rows = []
+    for scenario in scenarios:
+        for scheme, overrides in SCHEMES:
+            rtt_tails, delayed, bitrates = [], [], []
+            for seed in seeds:
+                config = _scenario_config(scenario, duration, seed,
+                                          dict(overrides))
+                result = run_scenario(config)
+                rtt_tails.append(result.rtt.tail_ratio())
+                delayed.append(result.frames.delayed_ratio())
+                bitrates.append(result.flows[0].mean_bitrate_bps)
+            count = len(seeds)
+            rows.append(TestbedRow(
+                scenario=scenario, scheme=scheme,
+                rtt_tail_ratio=sum(rtt_tails) / count,
+                delayed_frame_ratio=sum(delayed) / count,
+                mean_bitrate_bps=sum(bitrates) / count,
+            ))
+    return rows

@@ -1,0 +1,145 @@
+"""Trace-driven evaluation drivers (Figs. 11, 12, 13, 22; Table 3).
+
+One row per (trace, scheme): tail-latency ratio, delayed-frame ratio,
+and low-frame-rate ratio, per the paper's §7.2 metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.stats import ccdf_points
+from repro.traces.synthetic import abc_legacy_trace, make_trace
+
+RTP_SCHEMES = (
+    ("Gcc+FIFO", dict(protocol="rtp", cca="gcc", ap_mode="none",
+                      queue_kind="fifo")),
+    ("Gcc+CoDel", dict(protocol="rtp", cca="gcc", ap_mode="none",
+                       queue_kind="codel")),
+    ("Gcc+Zhuge", dict(protocol="rtp", cca="gcc", ap_mode="zhuge",
+                       queue_kind="fifo")),
+)
+
+TCP_SCHEMES = (
+    ("Copa", dict(protocol="tcp", cca="copa", ap_mode="none")),
+    ("Copa+FastAck", dict(protocol="tcp", cca="copa", ap_mode="fastack")),
+    ("ABC", dict(protocol="tcp", cca="abc", ap_mode="abc")),
+    ("Copa+Zhuge", dict(protocol="tcp", cca="copa", ap_mode="zhuge")),
+)
+
+
+@dataclass
+class TraceRow:
+    """One (trace, scheme) evaluation result."""
+
+    trace: str
+    scheme: str
+    rtt_tail_ratio: float       # P(network RTT > 200 ms)
+    delayed_frame_ratio: float  # P(frame delay > 400 ms)
+    low_fps_ratio: float        # P(per-second frame rate < 10 fps)
+    mean_bitrate_bps: float
+    rtt_samples: list[float] | None = None
+    frame_delay_samples: list[float] | None = None
+    fps_samples: list[float] | None = None
+
+
+def evaluate_scheme(trace_name: str, scheme_name: str, overrides: dict,
+                    duration: float = 60.0, seeds: tuple[int, ...] = (1, 2),
+                    keep_samples: bool = False) -> TraceRow:
+    """Run one scheme over one trace family, averaged over seeds."""
+    rtts: list[float] = []
+    delays: list[float] = []
+    fps: list[float] = []
+    bitrates: list[float] = []
+    for seed in seeds:
+        if trace_name == "ABC-legacy":
+            trace = abc_legacy_trace(duration=duration, seed=seed)
+        else:
+            trace = make_trace(trace_name, duration=duration, seed=seed)
+        config = ScenarioConfig(trace=trace, duration=duration, seed=seed,
+                                **overrides)
+        result = run_scenario(config)
+        rtts.extend(result.rtt.rtts)
+        delays.extend(result.frames.frame_delays)
+        fps.extend(result.frames.per_second_fps(
+            duration - config.warmup, start=config.warmup))
+        if overrides.get("protocol") == "tcp":
+            # A window CCA's cwnd/srtt estimate is not a bitrate;
+            # report delivered goodput instead.
+            bitrates.append(result.flows[0].goodput_bps)
+        else:
+            bitrates.append(result.flows[0].mean_bitrate_bps)
+
+    from repro.metrics.stats import tail_fraction
+    return TraceRow(
+        trace=trace_name,
+        scheme=scheme_name,
+        rtt_tail_ratio=tail_fraction(rtts, 0.200),
+        delayed_frame_ratio=tail_fraction(delays, 0.400),
+        low_fps_ratio=tail_fraction(fps, 10.0, above=False),
+        mean_bitrate_bps=sum(bitrates) / len(bitrates),
+        rtt_samples=rtts if keep_samples else None,
+        frame_delay_samples=delays if keep_samples else None,
+        fps_samples=fps if keep_samples else None,
+    )
+
+
+def fig11_rtp_traces(traces=("W1", "W2", "C1", "C2", "C3"),
+                     duration: float = 60.0,
+                     seeds: tuple[int, ...] = (1, 2)) -> list[TraceRow]:
+    """Fig. 11: RTP/RTCP schemes over the five traces."""
+    rows = []
+    for trace_name in traces:
+        for scheme_name, overrides in RTP_SCHEMES:
+            rows.append(evaluate_scheme(trace_name, scheme_name, overrides,
+                                        duration, seeds))
+    return rows
+
+
+def fig12_tcp_traces(traces=("W1", "W2", "C1", "C2", "C3"),
+                     duration: float = 60.0,
+                     seeds: tuple[int, ...] = (1, 2)) -> list[TraceRow]:
+    """Fig. 12: TCP schemes over the five traces."""
+    rows = []
+    for trace_name in traces:
+        for scheme_name, overrides in TCP_SCHEMES:
+            rows.append(evaluate_scheme(trace_name, scheme_name, overrides,
+                                        duration, seeds))
+    return rows
+
+
+def fig13_distributions(trace_name: str = "W1", duration: float = 60.0,
+                        seeds: tuple[int, ...] = (1, 2)) -> dict:
+    """Fig. 13: 1-CDF curves (RTT, frame delay, frame rate) per scheme."""
+    curves: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    for scheme_name, overrides in RTP_SCHEMES:
+        row = evaluate_scheme(trace_name, scheme_name, overrides,
+                              duration, seeds, keep_samples=True)
+        curves[scheme_name] = {
+            "rtt_ccdf": ccdf_points(row.rtt_samples, points=40),
+            "frame_delay_ccdf": ccdf_points(row.frame_delay_samples,
+                                            points=40),
+            "fps_cdf": ccdf_points([-f for f in row.fps_samples], points=40),
+        }
+    return curves
+
+
+def fig22_framerate(duration: float = 60.0,
+                    seeds: tuple[int, ...] = (1, 2)) -> list[TraceRow]:
+    """Fig. 22: low-frame-rate ratios over traces for RTP and TCP."""
+    rows = []
+    for trace_name in ("W1", "W2", "C1", "C2", "C3"):
+        for scheme_name, overrides in RTP_SCHEMES + TCP_SCHEMES:
+            rows.append(evaluate_scheme(trace_name, scheme_name, overrides,
+                                        duration, seeds))
+    return rows
+
+
+def table3_abc_traces(duration: float = 60.0,
+                      seeds: tuple[int, ...] = (1, 2)) -> list[TraceRow]:
+    """Table 3: Copa / ABC / Copa+Zhuge on the ABC-legacy trace."""
+    schemes = [s for s in TCP_SCHEMES if s[0] in ("Copa", "ABC",
+                                                  "Copa+Zhuge")]
+    return [evaluate_scheme("ABC-legacy", name, overrides, duration, seeds)
+            for name, overrides in schemes]

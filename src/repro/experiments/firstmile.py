@@ -1,0 +1,171 @@
+"""First-mile Zhuge (§6 discussion, implemented as an extension).
+
+For peer-to-peer RTC (video conferencing upload), the wireless hop is
+the *first* mile: the queue builds in the client's own network stack.
+The paper notes Zhuge's mechanisms apply there too, by integrating with
+the sender's stack instead of an AP.
+
+Topology::
+
+    client[encoder + CCA (+ local fortune teller)]
+        --uplink wireless (bottleneck)--> AP --WAN--> server[receiver]
+    client <------------- WAN + downlink feedback ------------- server
+
+With ``client_zhuge=True``, a :class:`LocalFortuneLoop` watches the
+client's own uplink queue and synthesizes TWCC feedback from predicted
+delays directly into the CCA — the shortest control loop possible (zero
+network traversal). The baseline waits for the server's real TWCC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.app.video import RtpVideoApp, VideoEncoder
+from repro.cca import make_rate_cca
+from repro.cca.base import FeedbackPacketReport
+from repro.core.fortune_teller import FortuneTeller
+from repro.metrics.recorder import FrameRecorder, RttRecorder
+from repro.net.link import WiredLink
+from repro.net.packet import FiveTuple, Packet, PacketKind
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator, Timer
+from repro.sim.random import DeterministicRandom
+from repro.traces.trace import BandwidthTrace
+from repro.transport.rtp import RtpReceiver, RtpSender
+from repro.wireless.channel import WirelessChannel
+from repro.wireless.link import WirelessLink
+
+
+@dataclass
+class FirstMileConfig:
+    """Uplink-video scenario parameters."""
+
+    trace: BandwidthTrace
+    client_zhuge: bool = False
+    duration: float = 40.0
+    seed: int = 1
+    wan_delay: float = 0.020
+    fps: float = 24.0
+    initial_bps: float = 1e6
+    max_bps: float = 4e6
+    cca: str = "gcc"
+    warmup: float = 5.0
+
+
+@dataclass
+class FirstMileResult:
+    config: FirstMileConfig
+    rtt: RttRecorder = field(default_factory=RttRecorder)
+    frames: FrameRecorder = field(default_factory=FrameRecorder)
+    mean_bitrate_bps: float = 0.0
+
+
+class LocalFortuneLoop:
+    """Client-side fortune feedback: predictions -> CCA, no network.
+
+    Periodically converts the Fortune Teller's per-packet predicted
+    delays for recently sent packets into synthetic feedback reports and
+    feeds them to the sender's CCA. The real server feedback is
+    suppressed for rate control (it still drives loss recovery).
+    """
+
+    def __init__(self, sim: Simulator, sender: RtpSender,
+                 fortune_teller: FortuneTeller,
+                 interval: float = 0.040):
+        self.sim = sim
+        self.sender = sender
+        self.fortune_teller = fortune_teller
+        self._pending: list[tuple[int, float, int, float]] = []
+        # (twcc_seq, send_time, size, predicted_arrival)
+        self.synthetic_feedbacks = 0
+        self._timer = Timer(sim, interval, self._tick)
+
+    def on_packet_sent(self, packet: Packet) -> None:
+        prediction = self.fortune_teller.observe_arrival(packet)
+        self._pending.append((packet.headers["twcc_seq"], self.sim.now,
+                              packet.size, self.sim.now + prediction.total))
+
+    def _tick(self) -> None:
+        if not self._pending:
+            return
+        reports = [FeedbackPacketReport(seq, size, sent, predicted)
+                   for seq, sent, size, predicted in self._pending]
+        self._pending.clear()
+        self.synthetic_feedbacks += 1
+        self.sender.cca.on_feedback(self.sim.now, reports)
+        self.sender.rate_recorder.record(self.sim.now,
+                                         self.sender.cca.target_bps)
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+
+def run_first_mile(config: FirstMileConfig) -> FirstMileResult:
+    """Simulate uplink video with or without client-side Zhuge."""
+    sim = Simulator()
+    rng = DeterministicRandom(config.seed)
+    flow = FiveTuple("client", "server", 5000, 6000, "udp")
+
+    uplink_queue = DropTailQueue(capacity_bytes=375_000, name="client-up")
+    uplink = WirelessLink(sim, WirelessChannel(config.trace), uplink_queue,
+                          name="first-mile")
+    wan = WiredLink(sim, 1e9, config.wan_delay, name="wan")
+    feedback_path = WiredLink(sim, None, config.wan_delay, name="wan-back")
+
+    cca = make_rate_cca(config.cca, initial_bps=config.initial_bps,
+                        max_bps=config.max_bps)
+    sender = RtpSender(sim, flow, cca)
+    receiver = RtpReceiver(sim, flow)
+    encoder = VideoEncoder(fps=config.fps, rng=rng.fork("enc"))
+    app = RtpVideoApp(sim, sender, receiver, encoder)
+
+    result = FirstMileResult(config=config)
+    teller = FortuneTeller(sim, uplink_queue)
+    local_loop = (LocalFortuneLoop(sim, sender, teller)
+                  if config.client_zhuge else None)
+
+    def client_transmit(packet: Packet) -> None:
+        if local_loop is not None and packet.kind == PacketKind.DATA:
+            local_loop.on_packet_sent(packet)
+        uplink.send(packet)
+
+    sender.transmit = client_transmit
+    uplink.deliver = wan.send
+
+    def server_receive(packet: Packet) -> None:
+        if packet.kind == PacketKind.DATA:
+            one_way = sim.now - packet.sent_at
+            result.rtt.record(sim.now,
+                              max(0.0, one_way) + config.wan_delay)
+        receiver.on_data(packet)
+
+    wan.deliver = server_receive
+    receiver.transmit = feedback_path.send
+
+    def client_feedback(packet: Packet) -> None:
+        if packet.kind == PacketKind.RTCP_OTHER:
+            sender.on_nack(packet)
+        elif local_loop is None:
+            sender.on_feedback(packet)
+        # With the local loop active, server TWCC is ignored for rate
+        # control (the local predictions already covered those packets).
+
+    feedback_path.deliver = client_feedback
+
+    sim.run(until=config.duration)
+    for t, d in zip(app.frame_recorder.frame_times,
+                    app.frame_recorder.frame_delays):
+        if t >= config.warmup:
+            result.frames.record(t, d)
+    filtered = RttRecorder()
+    for t, r in zip(result.rtt.times, result.rtt.rtts):
+        if t >= config.warmup:
+            filtered.record(t, r)
+    result.rtt = filtered
+    result.mean_bitrate_bps = sender.rate_recorder.mean_rate(
+        start=config.warmup)
+    if local_loop is not None:
+        local_loop.stop()
+    app.stop()
+    return result

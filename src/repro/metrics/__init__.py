@@ -1,0 +1,25 @@
+"""Measurement utilities: time series, CDFs, tail ratios, durations."""
+
+from repro.metrics.stats import (
+    cdf_points,
+    ccdf_points,
+    percentile,
+    tail_fraction,
+)
+from repro.metrics.recorder import (
+    RttRecorder,
+    FrameRecorder,
+    RateRecorder,
+    degradation_duration,
+)
+
+__all__ = [
+    "cdf_points",
+    "ccdf_points",
+    "percentile",
+    "tail_fraction",
+    "RttRecorder",
+    "FrameRecorder",
+    "RateRecorder",
+    "degradation_duration",
+]

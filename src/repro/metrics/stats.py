@@ -1,0 +1,84 @@
+"""Distribution statistics used by every experiment.
+
+Pure functions over lists of samples; no simulator dependency so they
+are usable in post-processing and tests alike.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100]: {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    # This form is exact when both neighbours are equal (no float drift).
+    return ordered[low] + (ordered[high] - ordered[low]) * weight
+
+
+def tail_fraction(samples: Sequence[float], threshold: float,
+                  above: bool = True) -> float:
+    """Fraction of samples beyond ``threshold``.
+
+    ``above=True`` counts samples strictly greater (tail-latency style);
+    ``above=False`` counts samples strictly smaller (low-frame-rate style).
+    """
+    if not samples:
+        return 0.0
+    if above:
+        count = sum(1 for s in samples if s > threshold)
+    else:
+        count = sum(1 for s in samples if s < threshold)
+    return count / len(samples)
+
+
+def cdf_points(samples: Sequence[float],
+               points: int = 200) -> list[tuple[float, float]]:
+    """(value, P(X <= value)) pairs, subsampled to at most ``points``."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    step = max(1, n // points)
+    out = []
+    for i in range(0, n, step):
+        out.append((ordered[i], (i + 1) / n))
+    if out[-1][0] != ordered[-1]:
+        out.append((ordered[-1], 1.0))
+    return out
+
+
+def ccdf_points(samples: Sequence[float],
+                points: int = 200) -> list[tuple[float, float]]:
+    """(value, P(X > value)) pairs — the 1-CDF curves of Figs. 2 and 13."""
+    return [(value, max(0.0, 1.0 - p)) for value, p in cdf_points(samples, points)]
+
+
+def mean(samples: Sequence[float]) -> float:
+    if not samples:
+        raise ValueError("mean of empty sample set")
+    return sum(samples) / len(samples)
+
+
+def jain_fairness(rates: Sequence[float]) -> float:
+    """Jain's fairness index over per-flow rates (1.0 = perfectly fair)."""
+    if not rates:
+        raise ValueError("fairness of empty rate set")
+    total = sum(rates)
+    squares = sum(r * r for r in rates)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(rates) * squares)

@@ -1,0 +1,23 @@
+"""Packet-level network substrate.
+
+Packets, flows, drop-tail queues, wired links, and simple forwarding
+nodes. Wireless links live in :mod:`repro.wireless`; queue disciplines
+beyond drop-tail live in :mod:`repro.aqm`.
+"""
+
+from repro.net.packet import Packet, PacketKind, FiveTuple
+from repro.net.queue import DropTailQueue, QueueStats
+from repro.net.link import WiredLink
+from repro.net.node import Node, PacketSink, PacketHandler
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "FiveTuple",
+    "DropTailQueue",
+    "QueueStats",
+    "WiredLink",
+    "Node",
+    "PacketSink",
+    "PacketHandler",
+]

@@ -1,0 +1,73 @@
+"""Wired point-to-point link.
+
+Models serialization (bytes / rate) plus fixed propagation delay, with an
+attached :class:`~repro.net.queue.DropTailQueue` (or an AQM subclass).
+The WAN segment between the sender and the AP is a ``WiredLink``; the
+wireless hop is modelled separately in :mod:`repro.wireless`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+
+DeliverCallback = Callable[[Packet], None]
+
+
+class WiredLink:
+    """Fixed-rate link with propagation delay and an egress queue.
+
+    ``rate_bps`` of 0 or ``None`` means infinite rate (pure delay line),
+    which is how we model uncongested reverse WAN paths.
+    """
+
+    def __init__(self, sim: Simulator, rate_bps: Optional[float],
+                 delay: float, queue: Optional[DropTailQueue] = None,
+                 name: str = "link"):
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative: {delay}")
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError(f"rate must be positive or None: {rate_bps}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        # Explicit None check: an empty DropTailQueue is falsy (len == 0),
+        # so ``queue or default`` would silently discard a provided queue.
+        self.queue = queue if queue is not None else DropTailQueue(name=f"{name}-q")
+        self.name = name
+        self.deliver: Optional[DeliverCallback] = None
+        self._busy = False
+
+    def send(self, packet: Packet) -> None:
+        """Accept a packet for transmission (may queue or drop it)."""
+        if self.rate_bps is None:
+            # Infinite-rate delay line: bypass the queue entirely.
+            self.sim.schedule(self.delay, lambda p=packet: self._arrive(p))
+            return
+        if self.queue.enqueue(packet, self.sim.now) and not self._busy:
+            self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.bits / self.rate_bps
+        self.sim.schedule(tx_time, lambda p=packet: self._finish(p))
+
+    def _finish(self, packet: Packet) -> None:
+        self.sim.schedule(self.delay, lambda p=packet: self._arrive(p))
+        self._start_transmission()
+
+    def _arrive(self, packet: Packet) -> None:
+        if self.deliver is not None:
+            packet.received_at = self.sim.now
+            self.deliver(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        rate = "inf" if self.rate_bps is None else f"{self.rate_bps / 1e6:.1f}Mbps"
+        return f"WiredLink({self.name}, {rate}, {self.delay * 1e3:.1f}ms)"

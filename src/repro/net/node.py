@@ -1,0 +1,60 @@
+"""Forwarding nodes and packet sinks.
+
+A :class:`Node` dispatches received packets to registered handlers by
+flow five-tuple (with a default handler as fallback). Middleboxes such
+as the Zhuge AP are handlers that forward onward after doing their work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import FiveTuple, Packet
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Node:
+    """Named packet dispatcher."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._handlers: dict[FiveTuple, PacketHandler] = {}
+        self._default: Optional[PacketHandler] = None
+        self.received = 0
+
+    def register(self, flow: FiveTuple, handler: PacketHandler) -> None:
+        """Route packets of ``flow`` to ``handler``."""
+        self._handlers[flow] = handler
+
+    def set_default(self, handler: PacketHandler) -> None:
+        """Handler for packets with no per-flow registration."""
+        self._default = handler
+
+    def receive(self, packet: Packet) -> None:
+        self.received += 1
+        handler = self._handlers.get(packet.flow, self._default)
+        if handler is not None:
+            handler(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Node({self.name}, {len(self._handlers)} flows)"
+
+
+class PacketSink:
+    """Terminal endpoint that stores everything it receives."""
+
+    def __init__(self, name: str = "sink"):
+        self.name = name
+        self.packets: list[Packet] = []
+
+    def receive(self, packet: Packet) -> None:
+        self.packets.append(packet)
+
+    @property
+    def count(self) -> int:
+        return len(self.packets)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(packet.size for packet in self.packets)

@@ -1,0 +1,97 @@
+"""Packet and flow-identity types.
+
+A :class:`Packet` is the unit moved by links and queues. Transport
+protocols attach their headers in typed attributes rather than raw bytes;
+middleboxes that must treat payloads as opaque (Zhuge in out-of-band
+mode) only ever read the :class:`FiveTuple` and timestamps.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class PacketKind(enum.Enum):
+    """Coarse packet classification used by middleboxes and queues."""
+
+    DATA = "data"            # downlink payload (TCP segment / RTP packet)
+    ACK = "ack"              # out-of-band feedback (TCP/QUIC ACK)
+    RTCP_TWCC = "rtcp_twcc"  # in-band TWCC feedback packet
+    RTCP_OTHER = "rtcp_other"  # receiver reports, NACKs, ...
+    CONTROL = "control"      # explicit-feedback control (ABC fields, etc.)
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """Flow identity: the only thing Zhuge needs to match a flow."""
+
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+    proto: str = "udp"
+
+    def reversed(self) -> "FiveTuple":
+        """Identity of packets travelling the opposite direction."""
+        return FiveTuple(self.dst, self.src, self.dst_port,
+                         self.src_port, self.proto)
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes:
+        flow: the packet's five-tuple.
+        size: bytes on the wire (headers included).
+        kind: coarse classification (data vs feedback).
+        seq: transport sequence number (byte- or packet-based, protocol
+            defined); opaque to middleboxes.
+        ack: cumulative acknowledgement carried by feedback packets.
+        sent_at: time the sender emitted the packet.
+        headers: per-protocol annotations (TWCC seq, frame ids, ECN-style
+            marks). Middleboxes may add keys; end hosts own the schema.
+    """
+
+    flow: FiveTuple
+    size: int
+    kind: PacketKind = PacketKind.DATA
+    seq: int = -1
+    ack: int = -1
+    sent_at: float = 0.0
+    headers: dict[str, Any] = field(default_factory=dict)
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    # Timestamps stamped by the AP / receiver as the packet moves.
+    enqueued_at: Optional[float] = None
+    dequeued_at: Optional[float] = None
+    received_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive: {self.size}")
+
+    @property
+    def bits(self) -> int:
+        return self.size * 8
+
+    def copy_header(self, key: str, default: Any = None) -> Any:
+        return self.headers.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"Packet(id={self.pkt_id}, {self.kind.value}, "
+                f"seq={self.seq}, size={self.size})")
+
+
+# Conventional sizes (bytes) used across the reproduction.
+MTU = 1500
+RTP_PAYLOAD_SIZE = 1200
+TCP_SEGMENT_SIZE = 1448
+ACK_SIZE = 60
+RTCP_SIZE = 120

@@ -1,0 +1,145 @@
+"""Drop-tail queue with the observability hooks Zhuge needs.
+
+The queue exposes, at any instant:
+
+* ``byte_length`` / ``packet_length`` — current backlog,
+* ``front_wait_time(now)`` — how long the head packet has waited so far
+  (the ``qShort`` signal of the Fortune Teller),
+* arrival/departure callbacks so a middlebox can observe every packet
+  without the queue knowing about it.
+
+Queue disciplines that reorder or drop differently (CoDel, FQ-CoDel)
+wrap or subclass this class; see :mod:`repro.aqm`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters accumulated over the queue's lifetime."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    bytes_enqueued: int = 0
+    bytes_dequeued: int = 0
+    bytes_dropped: int = 0
+    drop_reasons: dict[str, int] = field(default_factory=dict)
+
+    def record_drop(self, packet: Packet, reason: str) -> None:
+        self.dropped += 1
+        self.bytes_dropped += packet.size
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+
+
+ArrivalCallback = Callable[[Packet, "DropTailQueue"], None]
+DepartureCallback = Callable[[Packet, "DropTailQueue"], None]
+DropCallback = Callable[[Packet, str], None]
+
+
+class DropTailQueue:
+    """FIFO byte-bounded queue.
+
+    Packets above ``capacity_bytes`` are dropped at the tail. Each packet
+    is stamped with its enqueue time so waiting times are measurable.
+    """
+
+    def __init__(self, capacity_bytes: int = 375_000, name: str = "queue"):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self._packets: deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+        self.on_arrival: list[ArrivalCallback] = []
+        self.on_departure: list[DepartureCallback] = []
+        self.on_drop: list[DropCallback] = []
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def byte_length(self) -> int:
+        """Bytes currently queued."""
+        return self._bytes
+
+    @property
+    def packet_length(self) -> int:
+        """Packets currently queued."""
+        return len(self._packets)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._packets
+
+    def front(self) -> Optional[Packet]:
+        """Peek the head packet without removing it."""
+        return self._packets[0] if self._packets else None
+
+    def front_wait_time(self, now: float) -> float:
+        """Seconds the head packet has waited so far (0 if empty)."""
+        head = self.front()
+        if head is None or head.enqueued_at is None:
+            return 0.0
+        return max(0.0, now - head.enqueued_at)
+
+    # -- mutation ----------------------------------------------------------
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Append ``packet``; returns False (and drops) when full."""
+        if self._bytes + packet.size > self.capacity_bytes:
+            self._drop(packet, "tail-overflow")
+            return False
+        packet.enqueued_at = now
+        self._packets.append(packet)
+        self._bytes += packet.size
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += packet.size
+        for callback in self.on_arrival:
+            callback(packet, self)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the head packet, or None when empty.
+
+        Subclasses (AQMs) may drop packets here before returning one.
+        """
+        packet = self._pop_head(now)
+        if packet is not None:
+            for callback in self.on_departure:
+                callback(packet, self)
+        return packet
+
+    def _pop_head(self, now: float) -> Optional[Packet]:
+        if not self._packets:
+            return None
+        packet = self._packets.popleft()
+        self._bytes -= packet.size
+        packet.dequeued_at = now
+        self.stats.dequeued += 1
+        self.stats.bytes_dequeued += packet.size
+        return packet
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        self.stats.record_drop(packet, reason)
+        for callback in self.on_drop:
+            callback(packet, reason)
+
+    def clear(self) -> None:
+        """Discard all queued packets without counting them as drops."""
+        self._packets.clear()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"{type(self).__name__}({self.name}: "
+                f"{len(self._packets)} pkts, {self._bytes} B)")

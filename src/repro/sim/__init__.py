@@ -1,0 +1,15 @@
+"""Discrete-event simulation engine.
+
+This package provides the event-driven substrate on which every other
+subsystem runs: a virtual clock, a heap-based event scheduler, repeating
+timers, and a deterministic random-number source.
+
+The engine is deliberately minimal: events are plain callables scheduled
+at absolute virtual times, and entities communicate by scheduling events
+on a shared :class:`Simulator`.
+"""
+
+from repro.sim.engine import Event, Simulator, Timer
+from repro.sim.random import DeterministicRandom
+
+__all__ = ["Event", "Simulator", "Timer", "DeterministicRandom"]

@@ -1,0 +1,186 @@
+"""Heap-based discrete-event simulator.
+
+Time is a float in seconds. Events are callables scheduled at an absolute
+time; ties are broken by insertion order so the simulation is fully
+deterministic for a fixed seed and schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling operations."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` (or
+    :meth:`Simulator.call_at`). Cancelling an event is O(1): the event is
+    flagged and skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Discrete-event loop with a virtual clock.
+
+    Example::
+
+        sim = Simulator()
+        sim.call_at(1.0, lambda: print(sim.now))
+        sim.run(until=2.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Negative delays are rejected; a zero delay runs the callback after
+        all events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule at NaN time")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < {self._now}"
+            )
+        event = Event(time, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events in time order.
+
+        Stops when the heap is empty, when the next event is strictly past
+        ``until`` (the clock is then advanced to ``until``), or after
+        ``max_events`` events.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            processed = 0
+            while self._heap:
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                processed += 1
+                self._events_processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pending(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+
+class Timer:
+    """Repeating timer bound to a :class:`Simulator`.
+
+    Calls ``callback`` every ``interval`` seconds until :meth:`stop`.
+    The first tick fires after one full interval (or after ``first_delay``
+    when given).
+    """
+
+    def __init__(self, sim: Simulator, interval: float,
+                 callback: Callable[[], None],
+                 first_delay: Optional[float] = None):
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive: {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._stopped = False
+        delay = interval if first_delay is None else first_delay
+        self._event = sim.schedule(delay, self._fire)
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @interval.setter
+    def interval(self, value: float) -> None:
+        if value <= 0:
+            raise SimulationError(f"timer interval must be positive: {value}")
+        self._interval = value
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.schedule(self._interval, self._fire)
+
+    def stop(self) -> None:
+        """Cancel the timer; the callback will not fire again."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

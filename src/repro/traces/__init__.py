@@ -1,0 +1,28 @@
+"""Bandwidth traces: container, analysis, and synthetic generators.
+
+The paper evaluates on five real traces (W1 restaurant WiFi, W2 office
+WiFi, C1 indoor mixed 4G/5G, C2 city 4G, C3 city 5G) plus the legacy
+traces of the ABC paper. We do not have the raw captures, so
+:mod:`repro.traces.synthetic` generates seeded traces calibrated to the
+statistics the paper reports (mean goodput and the Fig. 3b tail of
+available-bandwidth reduction ratios).
+"""
+
+from repro.traces.trace import BandwidthTrace
+from repro.traces.abw import abw_reduction_ratios, reduction_tail_fraction
+from repro.traces.synthetic import (
+    TRACE_NAMES,
+    ethernet_trace,
+    make_trace,
+    abc_legacy_trace,
+)
+
+__all__ = [
+    "BandwidthTrace",
+    "abw_reduction_ratios",
+    "reduction_tail_fraction",
+    "TRACE_NAMES",
+    "make_trace",
+    "ethernet_trace",
+    "abc_legacy_trace",
+]

@@ -1,0 +1,14 @@
+"""Transport protocol stacks.
+
+``tcp`` implements a byte-stream transport with cumulative ACKs, RTT
+estimation, fast retransmit and RTO — the out-of-band-feedback protocol
+family of the paper (Table 2). ``rtp`` implements RTP media transport
+with TWCC (transport-wide congestion control) RTCP feedback — the
+in-band family.
+"""
+
+from repro.transport.tcp import TcpSender, TcpReceiver
+from repro.transport.rtp import RtpSender, RtpReceiver, TwccFeedback
+
+__all__ = ["TcpSender", "TcpReceiver", "RtpSender", "RtpReceiver",
+           "TwccFeedback"]

@@ -1,0 +1,28 @@
+"""Wireless link models.
+
+The downlink wireless hop is the bottleneck the paper studies. We model:
+
+* a trace-driven channel capacity (:class:`WirelessChannel`),
+* MAC-layer frame aggregation (AMPDU) causing bursty departures,
+* channel contention from interferers causing bursty access delays,
+* MCS (modulation and coding scheme) selection capping the PHY rate.
+
+:class:`WirelessLink` ties these together and serves a network-layer
+queue, exposing departures through the queue's callbacks so the Zhuge
+Fortune Teller can observe them without special hooks.
+"""
+
+from repro.wireless.mcs import MCS_TABLE_80211N, McsController
+from repro.wireless.channel import WirelessChannel
+from repro.wireless.interference import InterferenceModel
+from repro.wireless.link import WirelessLink
+from repro.wireless.cellular import CellularLink
+
+__all__ = [
+    "MCS_TABLE_80211N",
+    "McsController",
+    "WirelessChannel",
+    "InterferenceModel",
+    "WirelessLink",
+    "CellularLink",
+]

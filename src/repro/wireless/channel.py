@@ -1,0 +1,38 @@
+"""Trace-driven wireless channel capacity.
+
+The channel answers "what is the deliverable rate right now?" by
+combining the bandwidth trace (external fluctuation: contention from
+other APs, fading, mobility) with the current MCS cap. It also knows
+when the rate next changes so the serving link can reschedule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.traces.trace import BandwidthTrace
+from repro.wireless.mcs import McsController
+
+
+class WirelessChannel:
+    """Instantaneous service rate = min(trace rate, MCS PHY rate * efficiency)."""
+
+    def __init__(self, trace: BandwidthTrace,
+                 mcs: Optional[McsController] = None,
+                 mac_efficiency: float = 0.7):
+        if not 0 < mac_efficiency <= 1:
+            raise ValueError(f"mac_efficiency must be in (0, 1]: {mac_efficiency}")
+        self.trace = trace
+        self.mcs = mcs
+        self.mac_efficiency = mac_efficiency
+
+    def rate_at(self, time: float) -> float:
+        """Deliverable rate (bps) at virtual ``time``; always positive."""
+        rate = self.trace.rate_at(time)
+        if self.mcs is not None:
+            rate = min(rate, self.mcs.phy_rate_bps * self.mac_efficiency)
+        return max(rate, 1_000.0)
+
+    def next_change(self, time: float) -> float:
+        """Next instant the trace steps (MCS switches are event-driven)."""
+        return self.trace.next_change(time)

@@ -1,0 +1,117 @@
+"""The wireless downlink: serves a queue with AMPDU bursts under contention.
+
+The serving loop models one transmission opportunity (txop) at a time:
+
+1. wait the contention access delay (grows with interferers),
+2. aggregate up to ``max_ampdu_packets`` / ``max_ampdu_bytes`` of the
+   queue head into one AMPDU — this is the bursty-departure behaviour
+   that motivates the Fortune Teller's qShort/maxBurstSize handling,
+3. transmit the AMPDU at the channel's current rate (airtime-share
+   scaled), then deliver all aggregated packets simultaneously after
+   the propagation delay.
+
+Departure callbacks fire at dequeue time (when packets leave the
+network-layer queue to the driver), matching where Zhuge measures
+``txRate`` and ``dequeueIntvl``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.wireless.channel import WirelessChannel
+from repro.wireless.interference import InterferenceModel
+
+DeliverCallback = Callable[[Packet], None]
+
+
+class WirelessLink:
+    """Queue-serving wireless hop (AP -> client)."""
+
+    def __init__(self, sim: Simulator, channel: WirelessChannel,
+                 queue: DropTailQueue,
+                 interference: Optional[InterferenceModel] = None,
+                 propagation_delay: float = 0.002,
+                 max_ampdu_packets: int = 16,
+                 max_ampdu_bytes: int = 24_000,
+                 per_txop_overhead: float = 0.0003,
+                 name: str = "wifi"):
+        if max_ampdu_packets < 1:
+            raise ValueError("max_ampdu_packets must be >= 1")
+        self.sim = sim
+        self.channel = channel
+        self.queue = queue
+        self.interference = interference
+        self.propagation_delay = propagation_delay
+        self.max_ampdu_packets = max_ampdu_packets
+        self.max_ampdu_bytes = max_ampdu_bytes
+        self.per_txop_overhead = per_txop_overhead
+        self.name = name
+        self.deliver: Optional[DeliverCallback] = None
+        self._serving = False
+        self.txops = 0
+        self.packets_sent = 0
+
+    def send(self, packet: Packet) -> None:
+        """Accept a downlink packet (enqueue; kick the server if idle)."""
+        accepted = self.queue.enqueue(packet, self.sim.now)
+        if accepted and not self._serving:
+            self._serving = True
+            self.sim.schedule(0.0, self._serve_txop)
+
+    def _serve_txop(self) -> None:
+        if self.queue.is_empty:
+            self._serving = False
+            return
+        access_delay = 0.0
+        if self.interference is not None:
+            access_delay = self.interference.access_delay()
+        self.sim.schedule(access_delay, self._transmit_ampdu)
+
+    def _transmit_ampdu(self) -> None:
+        # Aggregate the head of the queue into one AMPDU. All packets in
+        # the AMPDU dequeue at the same instant (bursty departures).
+        ampdu: list[Packet] = []
+        ampdu_bytes = 0
+        while (len(ampdu) < self.max_ampdu_packets
+               and not self.queue.is_empty):
+            head = self.queue.front()
+            if (ampdu and head is not None
+                    and ampdu_bytes + head.size > self.max_ampdu_bytes):
+                break
+            packet = self.queue.dequeue(self.sim.now)
+            if packet is None:
+                break
+            ampdu.append(packet)
+            ampdu_bytes += packet.size
+        if not ampdu:
+            # The AQM dropped the rest of the backlog; try again.
+            self.sim.schedule(0.0, self._serve_txop)
+            return
+
+        rate = self.channel.rate_at(self.sim.now)
+        if self.interference is not None:
+            rate *= self.interference.airtime_share
+        rate = max(rate, 1_000.0)
+        airtime = (ampdu_bytes * 8) / rate + self.per_txop_overhead
+        self.txops += 1
+        self.packets_sent += len(ampdu)
+        self.sim.schedule(airtime, lambda pkts=ampdu: self._finish(pkts))
+
+    def _finish(self, ampdu: list[Packet]) -> None:
+        self.sim.schedule(self.propagation_delay,
+                          lambda pkts=ampdu: self._arrive(pkts))
+        self._serve_txop()
+
+    def _arrive(self, ampdu: list[Packet]) -> None:
+        if self.deliver is None:
+            return
+        for packet in ampdu:
+            packet.received_at = self.sim.now
+            self.deliver(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"WirelessLink({self.name}, {self.txops} txops)"

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.net.packet import FiveTuple, Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.sim.random import DeterministicRandom
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRandom(42)
+
+
+@pytest.fixture
+def flow():
+    return FiveTuple("server", "client", 5000, 6000, "udp")
+
+
+def make_packet(flow, size=1200, seq=0, kind=PacketKind.DATA, **headers):
+    return Packet(flow, size, kind, seq=seq, headers=dict(headers))
+
+
+@pytest.fixture
+def packet_factory(flow):
+    def factory(size=1200, seq=0, kind=PacketKind.DATA, **headers):
+        return make_packet(flow, size, seq, kind, **headers)
+    return factory

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.trace == "W1"
+        assert args.ap == "zhuge"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_invalid_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--trace", "W9"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        exit_code = main(["run", "--trace", "W2", "--duration", "12",
+                          "--ap", "zhuge"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "RTT > 200 ms" in out
+        assert "frames decoded" in out
+
+    def test_compare_command(self, capsys):
+        exit_code = main(["compare", "--trace", "W2", "--duration", "12"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert out.count("AP mode") == 2
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "w2.json"
+        assert main(["trace", "--family", "W2", "--duration", "20",
+                     "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert main(["trace-stats", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ABW drop" in out
+
+    def test_run_with_trace_file(self, tmp_path, capsys):
+        out_file = tmp_path / "w1.json"
+        main(["trace", "--family", "W1", "--duration", "20",
+              "--out", str(out_file)])
+        exit_code = main(["run", "--trace-file", str(out_file),
+                          "--duration", "10"])
+        assert exit_code == 0
+
+    def test_tcp_run(self, capsys):
+        exit_code = main(["run", "--protocol", "tcp", "--cca", "copa",
+                          "--trace", "W2", "--duration", "10",
+                          "--ap", "none"])
+        assert exit_code == 0

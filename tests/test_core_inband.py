@@ -1,0 +1,108 @@
+"""Tests for the in-band (TWCC) Feedback Updater (§5.3)."""
+
+import pytest
+
+from repro.core.fortune_teller import FortuneTeller
+from repro.core.inband import InBandFeedbackUpdater
+from repro.net.packet import Packet, PacketKind
+from repro.net.queue import DropTailQueue
+from repro.transport.rtp import TwccFeedback
+
+
+@pytest.fixture
+def queue():
+    return DropTailQueue(capacity_bytes=1_000_000)
+
+
+@pytest.fixture
+def updater(sim, queue, flow):
+    teller = FortuneTeller(sim, queue)
+    return InBandFeedbackUpdater(sim, teller, flow,
+                                 feedback_interval=0.040)
+
+
+class TestFortuneRecording:
+    def test_records_predicted_arrival(self, sim, updater, flow):
+        packet = Packet(flow, 1200, headers={"twcc_seq": 5})
+        updater.on_data_packet(packet)
+        assert 5 in updater._predicted_arrivals
+
+    def test_ignores_packets_without_twcc(self, sim, updater, flow):
+        updater.on_data_packet(Packet(flow, 1200))
+        assert updater._predicted_arrivals == {}
+
+
+class TestFeedbackConstruction:
+    def test_feedback_emitted_on_timer(self, sim, updater, flow):
+        sent = []
+        updater.send_uplink = sent.append
+        updater.on_data_packet(Packet(flow, 1200, headers={"twcc_seq": 0}))
+        sim.run(until=0.050)
+        assert len(sent) == 1
+        feedback = sent[0].headers["twcc_feedback"]
+        assert feedback.constructed_by == "zhuge-ap"
+        assert 0 in feedback.arrivals
+
+    def test_no_feedback_when_idle(self, sim, updater):
+        sent = []
+        updater.send_uplink = sent.append
+        sim.run(until=0.2)
+        assert sent == []
+
+    def test_predicted_arrival_in_future(self, sim, updater, flow):
+        sent = []
+        updater.send_uplink = sent.append
+        updater.on_data_packet(Packet(flow, 1200, headers={"twcc_seq": 0}))
+        arrival_estimate = updater._predicted_arrivals[0]
+        assert arrival_estimate >= sim.now
+
+    def test_feedback_packet_kind(self, sim, updater, flow):
+        sent = []
+        updater.send_uplink = sent.append
+        updater.on_data_packet(Packet(flow, 1200, headers={"twcc_seq": 0}))
+        sim.run(until=0.050)
+        assert sent[0].kind is PacketKind.RTCP_TWCC
+        assert sent[0].flow == flow.reversed()
+
+    def test_pending_cleared_between_feedbacks(self, sim, updater, flow):
+        sent = []
+        updater.send_uplink = sent.append
+        updater.on_data_packet(Packet(flow, 1200, headers={"twcc_seq": 0}))
+        sim.run(until=0.050)
+        updater.on_data_packet(Packet(flow, 1200, headers={"twcc_seq": 1}))
+        sim.run(until=0.090)
+        assert len(sent) == 2
+        assert list(sent[1].headers["twcc_feedback"].arrivals) == [1]
+
+    def test_stop_halts_timer(self, sim, updater, flow):
+        sent = []
+        updater.send_uplink = sent.append
+        updater.on_data_packet(Packet(flow, 1200, headers={"twcc_seq": 0}))
+        updater.stop()
+        sim.run(until=1.0)
+        assert sent == []
+
+
+class TestClientFeedbackSuppression:
+    def test_client_twcc_dropped(self, sim, updater, flow):
+        forwarded = []
+        packet = Packet(flow.reversed(), 120, PacketKind.RTCP_TWCC)
+        packet.headers["twcc_feedback"] = TwccFeedback(
+            base_seq=0, constructed_by="receiver")
+        updater.on_feedback_packet(packet, forwarded.append)
+        assert forwarded == []
+        assert updater.client_feedback_dropped == 1
+
+    def test_own_twcc_forwarded(self, sim, updater, flow):
+        forwarded = []
+        packet = Packet(flow.reversed(), 120, PacketKind.RTCP_TWCC)
+        packet.headers["twcc_feedback"] = TwccFeedback(
+            base_seq=0, constructed_by="zhuge-ap")
+        updater.on_feedback_packet(packet, forwarded.append)
+        assert len(forwarded) == 1
+
+    def test_other_rtcp_forwarded(self, sim, updater, flow):
+        forwarded = []
+        nack = Packet(flow.reversed(), 120, PacketKind.RTCP_OTHER)
+        updater.on_feedback_packet(nack, forwarded.append)
+        assert len(forwarded) == 1

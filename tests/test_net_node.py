@@ -1,0 +1,76 @@
+"""Tests for nodes, sinks, and engine edge cases not covered elsewhere."""
+
+import pytest
+
+from repro.net.node import Node, PacketSink
+from repro.net.packet import FiveTuple, Packet
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestNode:
+    def test_dispatch_by_flow(self, flow):
+        node = Node("ap")
+        got = []
+        node.register(flow, got.append)
+        packet = Packet(flow, 100)
+        node.receive(packet)
+        assert got == [packet]
+        assert node.received == 1
+
+    def test_default_handler(self, flow):
+        node = Node("ap")
+        fallback = []
+        node.set_default(fallback.append)
+        other = FiveTuple("x", "y", 1, 2)
+        node.receive(Packet(other, 100))
+        assert len(fallback) == 1
+
+    def test_unhandled_packet_dropped_silently(self, flow):
+        node = Node("ap")
+        node.receive(Packet(flow, 100))  # no handler, no default
+        assert node.received == 1
+
+    def test_registered_beats_default(self, flow):
+        node = Node("ap")
+        specific, fallback = [], []
+        node.register(flow, specific.append)
+        node.set_default(fallback.append)
+        node.receive(Packet(flow, 100))
+        assert specific and not fallback
+
+
+class TestPacketSink:
+    def test_counts_and_bytes(self, flow):
+        sink = PacketSink()
+        sink.receive(Packet(flow, 100))
+        sink.receive(Packet(flow, 250))
+        assert sink.count == 2
+        assert sink.total_bytes == 350
+
+
+class TestEngineEdgeCases:
+    def test_run_while_running_rejected(self):
+        sim = Simulator()
+
+        def reentrant():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(0.1, reentrant)
+        sim.run()
+
+    def test_callback_scheduling_during_run(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 5:
+                sim.schedule(0.1, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+
+    def test_peek_empty(self):
+        assert Simulator().peek() is None

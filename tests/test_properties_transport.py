@@ -1,0 +1,121 @@
+"""Property-based tests on transport and CCA invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cca import make_rate_cca, make_window_cca
+from repro.cca.base import FeedbackPacketReport
+from repro.cca.cubic import CubicCca
+from repro.net.packet import FiveTuple, Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.transport.tcp import TcpReceiver, TcpSender
+
+
+class TestWindowCcaProperties:
+    @given(st.sampled_from(["cubic", "bbr", "copa", "abc"]),
+           st.lists(st.tuples(st.floats(min_value=0.001, max_value=1.0),
+                              st.integers(min_value=1, max_value=100_000)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_cwnd_stays_positive(self, name, acks):
+        """Any sequence of ACK/loss/RTO events leaves a usable window."""
+        cca = make_window_cca(name)
+        now = 0.0
+        for i, (rtt, nbytes) in enumerate(acks):
+            now += 0.01
+            cca.on_ack(now, rtt, nbytes)
+            if i % 7 == 3:
+                cca.on_loss(now)
+            if i % 23 == 11:
+                cca.on_rto(now)
+            if i % 5 == 2:
+                cca.on_explicit_feedback(now, "brake")
+            assert cca.cwnd >= cca.mss, name
+
+    @given(st.sampled_from(["gcc", "nada", "scream"]),
+           st.lists(st.tuples(st.floats(min_value=0.0, max_value=0.5),
+                              st.booleans()),
+                    min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_rate_cca_stays_clamped(self, name, events):
+        """Rate CCAs never leave [min_bps, max_bps] whatever arrives."""
+        cca = make_rate_cca(name, initial_bps=1e6, max_bps=5e6)
+        now = 0.0
+        seq = 0
+        for owd, lost in events:
+            now += 0.05
+            reports = []
+            for k in range(5):
+                recv = None if (lost and k == 0) else now + owd
+                reports.append(FeedbackPacketReport(seq, 1200,
+                                                    now - 0.05 + 0.01 * k,
+                                                    recv))
+                seq += 1
+            cca.on_feedback(now, reports)
+            assert cca.min_bps <= cca.target_bps <= cca.max_bps, name
+
+
+class TestTcpSenderProperties:
+    @given(st.lists(st.integers(min_value=100, max_value=20_000),
+                    min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_all_written_bytes_delivered_in_order(self, writes):
+        """Lossless path: every write arrives exactly once, in order."""
+        sim = Simulator()
+        flow = FiveTuple("s", "c", 1, 2, "tcp")
+        sender = TcpSender(sim, flow, CubicCca(),
+                           max_buffer_bytes=10**9)
+        receiver = TcpReceiver(sim, flow)
+        sender.transmit = (
+            lambda p: sim.schedule(0.01, lambda pp=p: receiver.on_data(pp)))
+        receiver.transmit = (
+            lambda p: sim.schedule(0.01, lambda pp=p: sender.on_ack(pp)))
+        delivered = []
+        receiver.on_deliver = (
+            lambda seq, end, meta, now: delivered.append((seq, end)))
+        for nbytes in writes:
+            sender.write(nbytes)
+        sim.run(until=60.0)
+        total = sum(writes)
+        assert delivered[-1][1] == total
+        # Contiguous coverage with no overlap.
+        position = 0
+        for seq, end in delivered:
+            assert seq == position
+            position = end
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_inflight_never_exceeds_window_plus_one(self, segments):
+        sim = Simulator()
+        flow = FiveTuple("s", "c", 1, 2, "tcp")
+        sender = TcpSender(sim, flow, CubicCca(), max_buffer_bytes=10**9)
+        sender.transmit = lambda p: None  # nothing is ever acked
+        sender.write(segments * sender.mss)
+        sim.run(until=0.1)
+        assert sender.inflight_bytes <= sender.cca.cwnd + sender.mss
+
+
+class TestQuicProperties:
+    @given(st.lists(st.integers(min_value=100, max_value=10_000),
+                    min_size=1, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_quic_delivers_every_chunk_once(self, writes):
+        from repro.cca.copa import CopaCca
+        from repro.transport.quic import QuicReceiver, QuicSender
+        sim = Simulator()
+        flow = FiveTuple("s", "c", 1, 2, "quic")
+        sender = QuicSender(sim, flow, CopaCca(mss=1200), mss=1200,
+                            max_buffer_bytes=10**9)
+        receiver = QuicReceiver(sim, flow)
+        sender.transmit = (
+            lambda p: sim.schedule(0.01, lambda pp=p: receiver.on_data(pp)))
+        receiver.transmit = (
+            lambda p: sim.schedule(0.01, lambda pp=p: sender.on_ack(pp)))
+        payloads = []
+        receiver.on_deliver = lambda payload, now: payloads.append(payload)
+        for nbytes in writes:
+            sender.write(nbytes)
+        sim.run(until=60.0)
+        finals = [p for p in payloads if p.get("last_of_write")]
+        assert len(finals) == len(writes)

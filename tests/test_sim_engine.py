@@ -1,0 +1,179 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator, Timer
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_ties_break_by_insertion_order(self, sim):
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, lambda lab=label: order.append(lab))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_zero_delay_runs_after_current_instant_events(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, lambda: order.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_nan_time_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_at(float("nan"), lambda: None)
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(i * 0.1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(3.0, lambda: seen.append(3))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+
+    def test_run_until_advances_clock_with_no_events(self, sim):
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_remaining_events_run_on_second_call(self, sim):
+        seen = []
+        sim.schedule(3.0, lambda: seen.append(3))
+        sim.run(until=2.0)
+        sim.run(until=4.0)
+        assert seen == [3]
+
+    def test_event_exactly_at_until_runs(self, sim):
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run(until=2.0)
+        assert seen == [2]
+
+    def test_max_events_cap(self, sim):
+        seen = []
+        for i in range(10):
+            sim.schedule(i * 0.1 + 0.1, lambda i=i: seen.append(i))
+        sim.run(max_events=4)
+        assert seen == [0, 1, 2, 3]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append(1))
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_twice_is_safe(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_peek_skips_cancelled(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.peek() == 2.0
+
+    def test_pending_excludes_cancelled(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending() == 1
+
+
+class TestTimer:
+    def test_timer_fires_repeatedly(self, sim):
+        ticks = []
+        Timer(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_timer_first_delay(self, sim):
+        ticks = []
+        Timer(sim, 1.0, lambda: ticks.append(sim.now), first_delay=0.0)
+        sim.run(until=2.5)
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_timer_stop(self, sim):
+        ticks = []
+        timer = Timer(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=5.0)
+        assert ticks == [1.0, 2.0]
+        assert timer.stopped
+
+    def test_timer_stop_from_callback(self, sim):
+        ticks = []
+        timer = Timer(sim, 1.0, lambda: (ticks.append(sim.now),
+                                         timer.stop() if len(ticks) >= 2 else None))
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_timer_interval_change(self, sim):
+        ticks = []
+        timer = Timer(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.schedule(1.5, lambda: setattr(timer, "interval", 2.0))
+        sim.run(until=6.0)
+        assert ticks == [1.0, 2.0, 4.0, 6.0]
+
+    def test_timer_invalid_interval(self, sim):
+        with pytest.raises(SimulationError):
+            Timer(sim, 0.0, lambda: None)
+
+    def test_timer_interval_setter_validates(self, sim):
+        timer = Timer(sim, 1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            timer.interval = -1.0
+
+
+class TestEventOrdering:
+    def test_event_lt_compares_time_then_seq(self):
+        early = Event(1.0, 0, lambda: None)
+        late = Event(2.0, 1, lambda: None)
+        assert early < late
+        first = Event(1.0, 0, lambda: None)
+        second = Event(1.0, 1, lambda: None)
+        assert first < second

@@ -1,0 +1,138 @@
+"""Tests for the RTP/TWCC transport."""
+
+import pytest
+
+from repro.cca.gcc import GccController
+from repro.net.packet import PacketKind
+from repro.transport.rtp import RtpReceiver, RtpSender
+
+
+@pytest.fixture
+def pair(sim, flow):
+    sender = RtpSender(sim, flow, GccController(initial_bps=1e6))
+    receiver = RtpReceiver(sim, flow, feedback_interval=0.040)
+    return sender, receiver
+
+
+def wire_direct(sim, sender, receiver, delay=0.010, loss_seqs=()):
+    def down(packet):
+        if packet.headers.get("twcc_seq") in loss_seqs:
+            return
+        sim.schedule(delay, lambda p=packet: receiver.on_data(p))
+
+    def up(packet):
+        sim.schedule(delay, lambda p=packet: sender.on_feedback(p))
+
+    sender.transmit = down
+    receiver.transmit = up
+
+
+class TestTwccSequencing:
+    def test_sequence_increments(self, sim, pair):
+        sender, _ = pair
+        sender.transmit = lambda p: None
+        first = sender.send_packet()
+        second = sender.send_packet()
+        assert second.headers["twcc_seq"] == first.headers["twcc_seq"] + 1
+
+    def test_feedback_carries_arrivals(self, sim, pair):
+        sender, receiver = pair
+        feedback_packets = []
+        receiver.transmit = feedback_packets.append
+        sender.transmit = lambda p: receiver.on_data(p)
+        sender.send_packet()
+        sender.send_packet()
+        sim.run(until=0.050)
+        assert len(feedback_packets) == 1
+        feedback = feedback_packets[0].headers["twcc_feedback"]
+        assert set(feedback.arrivals) == {0, 1}
+        assert feedback_packets[0].kind is PacketKind.RTCP_TWCC
+
+
+class TestFeedbackProcessing:
+    def test_cca_receives_reports(self, sim, pair):
+        sender, receiver = pair
+        wire_direct(sim, sender, receiver)
+        for i in range(10):
+            sim.schedule(i * 0.005, sender.send_packet)
+        sim.run(until=0.2)
+        assert sender.feedback_received >= 1
+        assert sender.rtt_recorder.count == 10
+
+    def test_lost_packets_reported_as_lost(self, sim, pair):
+        sender, receiver = pair
+        wire_direct(sim, sender, receiver, loss_seqs={2})
+        losses = []
+        original = sender.cca.on_feedback
+
+        def spy(now, reports):
+            losses.extend(r for r in reports if r.recv_time is None)
+            original(now, reports)
+
+        sender.cca.on_feedback = spy
+        for i in range(6):
+            sim.schedule(i * 0.005, sender.send_packet)
+        sim.run(until=0.3)
+        assert any(r.seq == 2 for r in losses)
+
+    def test_packets_not_double_reported(self, sim, pair):
+        sender, receiver = pair
+        wire_direct(sim, sender, receiver)
+        reported = []
+        original = sender.cca.on_feedback
+
+        def spy(now, reports):
+            reported.extend(r.seq for r in reports)
+            original(now, reports)
+
+        sender.cca.on_feedback = spy
+        for i in range(20):
+            sim.schedule(i * 0.01, sender.send_packet)
+        sim.run(until=0.5)
+        assert len(reported) == len(set(reported))
+
+    def test_feedback_without_payload_ignored(self, sim, pair, flow):
+        from repro.net.packet import Packet
+        sender, _ = pair
+        before = sender.feedback_received
+        sender.on_feedback(Packet(flow.reversed(), 120, PacketKind.RTCP_TWCC))
+        assert sender.feedback_received == before
+
+
+class TestReceiverBehaviour:
+    def test_no_feedback_when_no_data(self, sim, pair):
+        _, receiver = pair
+        sent = []
+        receiver.transmit = sent.append
+        sim.run(until=0.5)
+        assert sent == []
+
+    def test_media_callback_invoked(self, sim, pair):
+        sender, receiver = pair
+        got = []
+        receiver.on_media = got.append
+        receiver.transmit = lambda p: None
+        sender.transmit = lambda p: receiver.on_data(p)
+        sender.send_packet(headers={"frame_id": 3})
+        assert got[0].headers["frame_id"] == 3
+
+    def test_stop_halts_feedback(self, sim, pair):
+        sender, receiver = pair
+        sent = []
+        receiver.transmit = sent.append
+        sender.transmit = lambda p: receiver.on_data(p)
+        sender.send_packet()
+        receiver.stop()
+        sim.run(until=0.5)
+        assert sent == []
+
+
+class TestHistoryEviction:
+    def test_history_trimmed_by_window(self, sim, flow):
+        sender = RtpSender(sim, flow, GccController(), history_window=0.1)
+        sender.transmit = lambda p: None
+        sender.send_packet()
+        sim.run(until=1.0)
+        sender.send_packet()  # triggers trim at t=1.0
+        assert 0 not in sender._history
+        assert 1 in sender._history
