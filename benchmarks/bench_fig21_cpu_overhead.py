@@ -9,6 +9,7 @@ in the budget.
 
 from repro.experiments.drivers.format import format_table, pct
 from repro.experiments.drivers.overhead import (fig21_cpu_overhead,
+                                                measure_component_costs,
                                                 measure_per_packet_cost)
 
 
@@ -32,6 +33,30 @@ def test_fig21_cpu_overhead(once):
         # Monotone growth in flows, and 5 flows fit the budget.
         assert all(a <= b + 1e-9 for a, b in zip(utils, utils[1:])), router
         assert utils[-1] < 1.0, router
+
+
+def test_per_component_cost_breakdown(once):
+    """Where the per-packet budget goes: cost + counters per stage."""
+    reports = once(measure_component_costs, packets=5000)
+    table = [(r.stage, f"{r.seconds_per_call * 1e6:.2f}us",
+              f"{r.ops_per_sec:,.0f}/s",
+              r.stats["predictions"], r.stats["cache_hits"],
+              r.stats["estimator_ops"])
+             for r in reports]
+    print()
+    print(format_table(
+        "Fig. 21 — per-component per-packet cost",
+        ("stage", "cost", "throughput", "pred", "cachehit", "est-ops"),
+        table))
+    for report in reports:
+        # Each stage must stay well under the 1 ms/packet budget the
+        # Fig. 21 projection assumes.
+        assert report.seconds_per_call < 0.001, report.stage
+    # The estimators really ran: every data packet made a prediction and
+    # touched all four estimators of the Fortune Teller.
+    data = reports[0].stats
+    assert data["predictions"] == 5000
+    assert data["estimator_ops"] >= 4 * 5000
 
 
 def test_per_packet_cost_benchmark(benchmark):

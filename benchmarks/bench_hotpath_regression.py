@@ -1,0 +1,65 @@
+"""Hot-path perf-regression harness (BENCH_hotpath.json).
+
+Guards the amortized-O(1) rewrite of the sliding-window estimators:
+each optimized estimator must beat its naive re-scan reference (the
+seed implementation, kept in ``repro.core.sliding_window_reference``)
+by >= 3x on query throughput, and the full AP datapath must scale
+near-linearly from 1 to 100 concurrent flows. Every run appends its
+numbers to ``BENCH_hotpath.json`` at the repo root so future PRs have a
+perf trajectory to compare against (see also
+``benchmarks/run_hotpath_regression.py`` for running this outside
+pytest).
+"""
+
+from pathlib import Path
+
+from repro.experiments.drivers.format import format_table
+from repro.experiments.drivers.hotpath import (run_hotpath_bench,
+                                               write_results)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+# The acceptance floor: optimized DelayDeltaHistory.sample and
+# DequeueIntervalEstimator.average_interval must be >= 3x the naive
+# re-scan throughput.
+MIN_SPEEDUP = 3.0
+GUARDED = ("DelayDeltaHistory.sample",
+           "DequeueIntervalEstimator.average_interval")
+
+
+def test_hotpath_regression(once):
+    payload = once(run_hotpath_bench, queries=20_000, packets=20_000)
+    write_results(RESULTS_PATH, payload)
+
+    micro = {row["name"]: row for row in payload["micro"]}
+    table = [(name, f"{row['optimized_ops_per_sec']:,.0f}/s",
+              f"{row['reference_ops_per_sec']:,.0f}/s",
+              f"{row['speedup']:.1f}x")
+             for name, row in micro.items()]
+    print()
+    print(format_table(
+        "Hot path — optimized vs naive re-scan (window fill 256)",
+        ("estimator", "optimized", "reference", "speedup"),
+        table))
+
+    datapath = payload["datapath"]
+    table = [(d["flows"], f"{d['predict_ops_per_sec']:,.0f}/s",
+              f"{d['on_data_packet_ops_per_sec']:,.0f}/s",
+              f"{d['ack_delay_ops_per_sec']:,.0f}/s")
+             for d in datapath]
+    print(format_table(
+        "Hot path — datapath throughput vs concurrent flows",
+        ("flows", "predict", "on_data_packet", "ack_delay"),
+        table))
+
+    for name in GUARDED:
+        assert micro[name]["speedup"] >= MIN_SPEEDUP, (
+            f"{name}: {micro[name]['speedup']:.2f}x < {MIN_SPEEDUP}x")
+
+    # Per-packet cost must not blow up with concurrent flows (Fig. 21's
+    # near-linear scaling claim): 100 flows may cost at most 3x the
+    # per-packet time of 1 flow on the prediction path.
+    by_flows = {d["flows"]: d for d in datapath}
+    assert (by_flows[100]["on_data_packet_ops_per_sec"]
+            >= by_flows[1]["on_data_packet_ops_per_sec"] / 3.0)
+
+    assert RESULTS_PATH.exists()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Standalone runner for the hot-path regression bench.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_hotpath_regression.py [out.json]
+
+Runs the micro (optimized vs naive re-scan estimators) and datapath
+(1/10/100-flow ZhugeAP throughput) benches and appends one run to the
+trajectory file (default ``BENCH_hotpath.json`` at the repo root).
+The pytest wrapper ``bench_hotpath_regression.py`` runs the same code
+and additionally asserts the >= 3x speedup floor.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.drivers.hotpath import (run_hotpath_bench,  # noqa: E402
+                                               write_results)
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+
+def main(argv: list[str]) -> int:
+    out = Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    payload = run_hotpath_bench()
+    doc = write_results(out, payload)
+    run = doc["runs"][-1]
+    print(f"wrote run {len(doc['runs'])} to {out}")
+    for row in run["micro"]:
+        print(f"  {row['name']:<45} {row['speedup']:6.1f}x "
+              f"({row['optimized_ops_per_sec']:,.0f}/s vs "
+              f"{row['reference_ops_per_sec']:,.0f}/s)")
+    for d in run["datapath"]:
+        print(f"  datapath @ {d['flows']:>3} flows: "
+              f"predict {d['predict_ops_per_sec']:,.0f}/s, "
+              f"on_data_packet {d['on_data_packet_ops_per_sec']:,.0f}/s, "
+              f"ack_delay {d['ack_delay_ops_per_sec']:,.0f}/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

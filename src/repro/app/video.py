@@ -11,7 +11,7 @@ previous frame has been decoded (the frame-delay definition of §7.2).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.metrics.recorder import FrameRecorder

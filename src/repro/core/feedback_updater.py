@@ -66,6 +66,7 @@ class OutOfBandFeedbackUpdater:
                  max_extra_delay: float = 0.5):
         self.sim = sim
         self.fortune_teller = fortune_teller
+        self.window = window
         self.use_tokens = use_tokens
         self.distributional = distributional
         self.max_extra_delay = max_extra_delay
@@ -74,7 +75,14 @@ class OutOfBandFeedbackUpdater:
         self.token_history: deque[float] = deque()
         self._last_total_delay: Optional[float] = None
         self._last_sent_time = 0.0
-        self._pending_deltas: deque[float] = deque()  # non-distributional mode
+        # Non-distributional mode: (banked_at, delta) pairs. Entries age
+        # out after ``window`` — when ACKs arrive slower than data
+        # packets (delayed-ACK TCP: 1 ACK per 2 segments), the queue
+        # would otherwise grow without bound over a long trace, and a
+        # delta banked seconds ago no longer describes current downlink
+        # delay anyway.
+        self._pending_deltas: deque[tuple[float, float]] = deque()
+        self.pending_deltas_expired = 0
         self.acks_delayed = 0
         self.total_injected_delay = 0.0
 
@@ -92,10 +100,21 @@ class OutOfBandFeedbackUpdater:
         if delta >= 0:
             self.delta_history.push(self.sim.now, delta)
             if not self.distributional:
-                self._pending_deltas.append(delta)
+                self._pending_deltas.append((self.sim.now, delta))
+                self._expire_pending(self.sim.now)
         elif self.use_tokens:
             self.token_history.append(-delta)
         return delta
+
+    def _expire_pending(self, now: float) -> None:
+        horizon = now - self.window
+        while self._pending_deltas and self._pending_deltas[0][0] < horizon:
+            self._pending_deltas.popleft()
+            self.pending_deltas_expired += 1
+
+    @property
+    def pending_delta_count(self) -> int:
+        return len(self._pending_deltas)
 
     # -- Algorithm 2: on uplink feedback packets ---------------------------------
 
@@ -115,10 +134,12 @@ class OutOfBandFeedbackUpdater:
         """
         if self.distributional:
             extra = self.delta_history.sample(arrival_time)
-        elif self._pending_deltas:
-            extra = self._pending_deltas.popleft()
         else:
-            extra = 0.0
+            self._expire_pending(arrival_time)
+            if self._pending_deltas:
+                _, extra = self._pending_deltas.popleft()
+            else:
+                extra = 0.0
 
         # Spend banked tokens against the sampled delay.
         while self.use_tokens and self.token_history and extra > 0:

@@ -18,7 +18,7 @@ disciplines").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.sliding_window import (

@@ -3,6 +3,34 @@
 The paper sets the window to 40 ms — roughly one frame interval of a
 25 fps stream — so that the average covers at least one sender burst
 (§4.2) while still tracking sub-RTT fluctuation.
+
+Amortized-O(1) invariant
+------------------------
+Every estimator in this module does amortized O(1) work per recorded
+event *and* per query.  This is the property that lets the Zhuge control
+loop run on every packet (Fig. 21: near-linear scaling in concurrent
+flows):
+
+* windowed sums are running sums maintained on push/expire, never
+  re-scans (``SlidingWindowRate``, ``DequeueIntervalEstimator.average_interval``,
+  ``DelayDeltaHistory.mean``);
+* the windowed maximum in ``BurstSizeTracker`` is a monotonic deque, so
+  ``max_burst_bytes`` reads the front instead of scanning all bursts;
+* ``DelayDeltaHistory.sample`` indexes a ring buffer through a zero-copy
+  view instead of materializing the window as a list.
+
+Floating-point sums use :class:`ExactFloatSum` — exact binary
+fixed-point accumulation over Python big ints — so expiring events from
+the running sum introduces no rounding drift and every mean equals the
+correctly-rounded (``math.fsum``) re-scan of the live window,
+bit-for-bit.  ``tests/test_properties_hotpath.py`` asserts behavioural
+equivalence against the naive re-scan implementations kept in
+:mod:`repro.core.sliding_window_reference`;
+``benchmarks/bench_hotpath_regression.py`` records the speedup in
+``BENCH_hotpath.json``.
+
+Each estimator counts its operations in ``.ops`` (one int increment per
+record/query) for the :mod:`repro.metrics.hotpath` profiling module.
 """
 
 from __future__ import annotations
@@ -15,33 +43,126 @@ from repro.sim.random import DeterministicRandom
 DEFAULT_WINDOW = 0.040
 
 
-class SlidingWindowRate:
-    """Average rate (bps) of recorded byte events over a sliding window."""
+class ExactFloatSum:
+    """Exact running sum of floats, supporting subtraction.
 
-    def __init__(self, window: float = DEFAULT_WINDOW):
+    Values are accumulated in binary fixed-point over Python big ints
+    (every finite double is n/2**e exactly), so add/subtract are exact
+    and a window that empties returns to an exact zero — no compensated
+    residue, no drift.  :meth:`value` rounds the exact sum to the
+    nearest double, which is by construction the same float
+    ``math.fsum`` returns for the live window.
+    """
+
+    __slots__ = ("_num", "_exp")
+
+    def __init__(self):
+        self._num = 0   # sum == _num / 2**_exp exactly
+        self._exp = 0
+
+    def add(self, x: float) -> None:
+        n, d = x.as_integer_ratio()
+        e = d.bit_length() - 1  # d is a power of two for finite floats
+        if e > self._exp:
+            self._num <<= e - self._exp
+            self._exp = e
+        else:
+            n <<= self._exp - e
+        self._num += n
+
+    def subtract(self, x: float) -> None:
+        n, d = x.as_integer_ratio()
+        e = d.bit_length() - 1
+        if e > self._exp:
+            self._num <<= e - self._exp
+            self._exp = e
+        else:
+            n <<= self._exp - e
+        self._num -= n
+
+    def reset(self) -> None:
+        self._num = 0
+        self._exp = 0
+
+    def value(self) -> float:
+        # int/int true division is correctly rounded.
+        return self._num / (1 << self._exp)
+
+
+class _RingView:
+    """Zero-copy sequence view over the live suffix of a ring buffer.
+
+    Implements just enough of the Sequence protocol (``__len__`` /
+    ``__getitem__``) for :meth:`DeterministicRandom.sample_from` to
+    index it without a per-call copy of the window.
+    """
+
+    __slots__ = ("_buf", "_head")
+
+    def __init__(self, buf: list, head: int):
+        self._buf = buf
+        self._head = head
+
+    def __len__(self) -> int:
+        return len(self._buf) - self._head
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += len(self)
+        return self._buf[self._head + index]
+
+
+class SlidingWindowRate:
+    """Average rate (bps) of recorded byte events over a sliding window.
+
+    During warm-up — before the estimator has seen a full window of
+    traffic — the byte count is divided by the elapsed busy time
+    ``min(window, now - first_event_time)`` (floored at ``min_span``)
+    instead of the full window.  Dividing by the full window would
+    under-report txRate (and inflate qLong) for the first 40 ms of a
+    flow and right after the long-window fallback engages.  The elapsed
+    clock restarts whenever the window empties (idle gap > window).
+    """
+
+    def __init__(self, window: float = DEFAULT_WINDOW,
+                 min_span: float = 0.001):
         if window <= 0:
             raise ValueError(f"window must be positive: {window}")
         self.window = window
+        self.min_span = min_span
         self._events: deque[tuple[float, int]] = deque()
         self._bytes_in_window = 0
+        self._first_event: Optional[float] = None
+        self.ops = 0
 
     def record(self, now: float, nbytes: int) -> None:
+        self.ops += 1
+        self._expire(now)
+        if not self._events:
+            self._first_event = now
         self._events.append((now, nbytes))
         self._bytes_in_window += nbytes
-        self._expire(now)
 
     def _expire(self, now: float) -> None:
         horizon = now - self.window
-        while self._events and self._events[0][0] < horizon:
-            _, nbytes = self._events.popleft()
+        events = self._events
+        while events and events[0][0] < horizon:
+            _, nbytes = events.popleft()
             self._bytes_in_window -= nbytes
 
     def rate_bps(self, now: float) -> float:
-        """Average rate over the window; 0 when no events are in window."""
+        """Average rate over the (possibly warming-up) window; 0 when
+        no events are in window."""
+        self.ops += 1
         self._expire(now)
         if not self._events:
             return 0.0
-        return self._bytes_in_window * 8 / self.window
+        span = self.window
+        if self._first_event is not None:
+            span = min(span, now - self._first_event)
+        if span < self.min_span:
+            span = self.min_span
+        return self._bytes_in_window * 8 / span
 
     @property
     def event_count(self) -> int:
@@ -70,27 +191,36 @@ class DequeueIntervalEstimator:
         self.min_interval = min_interval
         self.max_interval = max_interval
         self._intervals: deque[tuple[float, float]] = deque()
+        self._sum = ExactFloatSum()
         self._last_departure: Optional[float] = None
+        self.ops = 0
 
     def record_departure(self, now: float) -> None:
+        self.ops += 1
         if self._last_departure is not None:
             interval = now - self._last_departure
             if self.min_interval <= interval <= self.max_interval:
                 self._intervals.append((now, interval))
+                self._sum.add(interval)
         self._last_departure = now
         self._expire(now)
 
     def _expire(self, now: float) -> None:
         horizon = now - self.window
-        while self._intervals and self._intervals[0][0] < horizon:
-            self._intervals.popleft()
+        intervals = self._intervals
+        while intervals and intervals[0][0] < horizon:
+            _, interval = intervals.popleft()
+            self._sum.subtract(interval)
+        if not intervals:
+            self._sum.reset()
 
     def average_interval(self, now: float) -> float:
         """Mean qualifying interval in the window; 0 with no samples."""
+        self.ops += 1
         self._expire(now)
         if not self._intervals:
             return 0.0
-        return sum(i for _, i in self._intervals) / len(self._intervals)
+        return self._sum.value() / len(self._intervals)
 
 
 class BurstSizeTracker:
@@ -99,17 +229,28 @@ class BurstSizeTracker:
     Departures closer together than ``resolution`` belong to one burst;
     the tracker reports the largest burst (bytes) seen in its window,
     which the Fortune Teller subtracts from qSize.
+
+    The maximum is kept in a monotonic (decreasing-bytes) deque, so
+    :meth:`max_burst_bytes` is O(1) instead of scanning every burst.
+    The *current* (unclosed) burst is expired as soon as
+    ``now - start >= window``: without that, a long idle gap would leave
+    a stale current burst inflating the Eq. 1 correction exactly when
+    the queue goes idle-then-bursty, making the Fortune Teller
+    under-predict qLong on the first packets after the gap.
     """
 
     def __init__(self, window: float = 1.0, resolution: float = 0.001):
         self.window = window
         self.resolution = resolution
         self._bursts: deque[tuple[float, int]] = deque()  # (start, bytes)
+        self._max: deque[tuple[float, int]] = deque()     # decreasing bytes
         self._current_start: Optional[float] = None
         self._current_bytes = 0
         self._last_departure: Optional[float] = None
+        self.ops = 0
 
     def record_departure(self, now: float, nbytes: int) -> None:
+        self.ops += 1
         if (self._last_departure is None
                 or now - self._last_departure >= self.resolution):
             self._close_current()
@@ -122,20 +263,34 @@ class BurstSizeTracker:
 
     def _close_current(self) -> None:
         if self._current_start is not None:
-            self._bursts.append((self._current_start, self._current_bytes))
+            entry = (self._current_start, self._current_bytes)
+            self._bursts.append(entry)
+            while self._max and self._max[-1][1] <= entry[1]:
+                self._max.pop()
+            self._max.append(entry)
         self._current_start = None
         self._current_bytes = 0
 
     def _expire(self, now: float) -> None:
         horizon = now - self.window
-        while self._bursts and self._bursts[0][0] < horizon:
-            self._bursts.popleft()
+        bursts = self._bursts
+        while bursts and bursts[0][0] < horizon:
+            entry = bursts.popleft()
+            if self._max and self._max[0] is entry:
+                self._max.popleft()
+        # Stale-current bugfix: an unclosed burst older than the window
+        # must stop feeding the Eq. 1 correction.
+        if (self._current_start is not None
+                and now - self._current_start >= self.window):
+            self._current_start = None
+            self._current_bytes = 0
 
     def max_burst_bytes(self, now: float) -> int:
+        self.ops += 1
         self._expire(now)
         best = self._current_bytes
-        for _, nbytes in self._bursts:
-            best = max(best, nbytes)
+        if self._max and self._max[0][1] > best:
+            best = self._max[0][1]
         return best
 
 
@@ -146,37 +301,73 @@ class DelayDeltaHistory:
     the streams are asynchronous), the updater keeps the distribution of
     recent deltas and samples it per ACK, achieving distributional
     equivalence between downlink delay increase and uplink ACK delays.
+
+    The window lives in a ring buffer (a list plus a head index,
+    compacted when the dead prefix dominates), so :meth:`sample` indexes
+    the live suffix in O(1) instead of copying it per ACK, and
+    :meth:`mean` reads a running exact sum.
     """
+
+    _COMPACT_MIN = 64  # compact once the dead prefix exceeds this and half
 
     def __init__(self, window: float = DEFAULT_WINDOW,
                  rng: Optional[DeterministicRandom] = None):
         self.window = window
         self.rng = rng or DeterministicRandom(0)
-        self._deltas: deque[tuple[float, float]] = deque()
+        self._times: list[float] = []
+        self._values: list[float] = []
+        self._head = 0
+        self._sum = ExactFloatSum()
+        self.ops = 0
 
     def push(self, now: float, delta: float) -> None:
         if delta < 0:
             raise ValueError(f"delta history only stores non-negative: {delta}")
-        self._deltas.append((now, delta))
+        self.ops += 1
+        self._times.append(now)
+        self._values.append(delta)
+        self._sum.add(delta)
         self._expire(now)
 
     def _expire(self, now: float) -> None:
         horizon = now - self.window
-        while self._deltas and self._deltas[0][0] < horizon:
-            self._deltas.popleft()
+        times, values, head = self._times, self._values, self._head
+        while head < len(times) and times[head] < horizon:
+            self._sum.subtract(values[head])
+            head += 1
+        self._head = head
+        if head == len(times):
+            self._times.clear()
+            self._values.clear()
+            self._head = 0
+            self._sum.reset()
+        elif head > self._COMPACT_MIN and head * 2 > len(times):
+            del times[:head]
+            del values[:head]
+            self._head = 0
+
+    def clear(self) -> None:
+        """Drop the whole window (e.g. when a flow's ledger resets)."""
+        self._times.clear()
+        self._values.clear()
+        self._head = 0
+        self._sum.reset()
 
     def sample(self, now: float) -> float:
         """Random recent delta; 0.0 when the window is empty."""
+        self.ops += 1
         self._expire(now)
-        if not self._deltas:
+        if self._head == len(self._times):
             return 0.0
-        return self.rng.sample_from([d for _, d in self._deltas])
+        return self.rng.sample_from(_RingView(self._values, self._head))
 
     def mean(self, now: float) -> float:
+        self.ops += 1
         self._expire(now)
-        if not self._deltas:
+        n = len(self._times) - self._head
+        if n == 0:
             return 0.0
-        return sum(d for _, d in self._deltas) / len(self._deltas)
+        return self._sum.value() / n
 
     def __len__(self) -> int:
-        return len(self._deltas)
+        return len(self._times) - self._head

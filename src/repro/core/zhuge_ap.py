@@ -63,14 +63,21 @@ class ZhugeAP:
 
     # -- flow registration (the AP's configurable IP list) -------------------
 
-    def register_flow(self, flow: FiveTuple, kind: FeedbackKind) -> None:
-        """Enable Zhuge for ``flow`` (downlink direction five-tuple)."""
+    def register_flow(self, flow: FiveTuple, kind: FeedbackKind,
+                      distributional: bool = True) -> None:
+        """Enable Zhuge for ``flow`` (downlink direction five-tuple).
+
+        ``distributional`` selects §5.2's delta sampling for out-of-band
+        flows; ``False`` maps banked deltas onto ACKs one-to-one (the
+        per-packet ablation variant). It is ignored for in-band flows.
+        """
         teller = self._teller_for(flow)
         if kind is FeedbackKind.OUT_OF_BAND:
             updater = OutOfBandFeedbackUpdater(
                 self.sim, teller,
                 rng=self.rng.fork(f"oob-{flow.src_port}-{flow.dst_port}"),
-                window=self.window)
+                window=self.window,
+                distributional=distributional)
             self._oob[flow] = updater
         else:
             updater = InBandFeedbackUpdater(
@@ -133,6 +140,15 @@ class ZhugeAP:
             teller = self._flow_tellers.get(packet.flow)
             if teller is not None:
                 teller.observe_delivery(packet)
+
+    def hotpath_stats(self):
+        """Per-component hot-path counter snapshots (plus a total).
+
+        Lazy import keeps ``repro.core`` free of metrics dependencies on
+        the datapath; only this reporting accessor crosses the boundary.
+        """
+        from repro.metrics.hotpath import snapshot_ap
+        return snapshot_ap(self)
 
     def _uplink_out(self, packet: Packet) -> None:
         if self.forward_uplink is not None:

@@ -141,7 +141,7 @@ def feedback_ablation(acks: int = 5000, seed: int = 1
             if delta >= 0:
                 updater.delta_history.push(t, delta)
                 if not updater.distributional:
-                    updater._pending_deltas.append(delta)
+                    updater._pending_deltas.append((t, delta))
             elif updater.use_tokens:
                 updater.token_history.append(-delta)
             injected.append(updater.ack_delay(t))

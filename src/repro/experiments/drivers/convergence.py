@@ -85,14 +85,9 @@ def run_drop(scheme: str, overrides: dict, k: float, seed: int = 1,
 def _reconvergence(result, k: float) -> float:
     """Fig. 4b metric: time for the sending rate to settle under the
     post-drop capacity (with 1.3x slack)."""
-    recorder = None
-    # The rate recorder lives on the sender; ScenarioResult keeps the mean
-    # but for re-convergence we reuse RTT times as a proxy when absent.
+    # Rate above capacity shows as delay growth in the RTT series.
+    # Re-convergence = last time network RTT exceeded 200 ms.
     flow = result.flows[0]
-    target = min(BASE_RATE / k, result.config.max_bps)
-    # Use the frame-delay series: rate above capacity shows as delay
-    # growth. Re-convergence = last time network RTT exceeded 200 ms.
-    last_violation = result.config.trace.duration  # pessimistic default
     violations = [t for t, r in zip(flow.rtt.times, flow.rtt.rtts)
                   if t >= DROP_AT and r > 0.200]
     if not violations:

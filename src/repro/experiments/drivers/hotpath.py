@@ -1,0 +1,199 @@
+"""Hot-path perf-regression driver: the numbers behind ``BENCH_hotpath.json``.
+
+Two measurement families:
+
+* **micro** — each optimized sliding-window estimator against its naive
+  re-scan reference (:mod:`repro.core.sliding_window_reference`, the
+  seed implementation) on an identical pre-filled window.  The recorded
+  ``speedup`` is the regression guard: the acceptance floor is >= 3x on
+  ``DelayDeltaHistory.sample`` and
+  ``DequeueIntervalEstimator.average_interval``.
+* **datapath** — aggregate ops/sec of the three per-packet entry points
+  (``predict``, ``on_data_packet``, ``ack_delay``) through a real
+  :class:`ZhugeAP` at 1/10/100 concurrent flows, the quantity Fig. 21
+  projects onto router CPUs.
+
+``write_results`` appends one run to the ``runs`` list of the JSON, so
+successive PRs accumulate a perf trajectory instead of overwriting it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.feedback_updater import FeedbackKind
+from repro.core.sliding_window import (
+    BurstSizeTracker,
+    DelayDeltaHistory,
+    DequeueIntervalEstimator,
+    SlidingWindowRate,
+)
+from repro.core.sliding_window_reference import (
+    ReferenceBurstSizeTracker,
+    ReferenceDelayDeltaHistory,
+    ReferenceDequeueIntervalEstimator,
+    ReferenceSlidingWindowRate,
+)
+from repro.core.zhuge_ap import ZhugeAP
+from repro.net.packet import ACK_SIZE, FiveTuple, Packet, PacketKind
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.random import DeterministicRandom
+
+SCHEMA = "hotpath-regression/v1"
+# How many samples the micro benches hold in-window. 256 models a busy
+# AP (a 40 ms window at ~6000 pps); the naive implementations re-scan
+# all of them per query, the optimized ones touch O(1).
+MICRO_FILL = 256
+
+
+def _time_calls(fn, calls: int) -> float:
+    """Wall-clock ops/sec of ``calls`` invocations of ``fn``."""
+    start = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    elapsed = time.perf_counter() - start
+    return calls / elapsed if elapsed > 0 else float("inf")
+
+
+def _micro_pair(name, optimized_fn, reference_fn, queries) -> dict:
+    return {
+        "name": name,
+        "window_fill": MICRO_FILL,
+        "queries": queries,
+        "optimized_ops_per_sec": _time_calls(optimized_fn, queries),
+        "reference_ops_per_sec": _time_calls(reference_fn, queries),
+    }
+
+
+def bench_estimator_micro(queries: int = 20_000) -> list[dict]:
+    """Optimized-vs-reference query throughput on identical windows."""
+    spacing = 0.002
+    span = MICRO_FILL * spacing
+    now = span  # query time; every recorded event is still in window
+
+    results = []
+
+    opt_hist = DelayDeltaHistory(window=2 * span, rng=DeterministicRandom(7))
+    ref_hist = ReferenceDelayDeltaHistory(window=2 * span,
+                                          rng=DeterministicRandom(7))
+    for i in range(MICRO_FILL):
+        t, d = i * spacing, 0.001 + (i % 16) * 0.0001
+        opt_hist.push(t, d)
+        ref_hist.push(t, d)
+    results.append(_micro_pair(
+        "DelayDeltaHistory.sample",
+        lambda: opt_hist.sample(now), lambda: ref_hist.sample(now), queries))
+    results.append(_micro_pair(
+        "DelayDeltaHistory.mean",
+        lambda: opt_hist.mean(now), lambda: ref_hist.mean(now), queries))
+
+    opt_intervals = DequeueIntervalEstimator(window=2 * span)
+    ref_intervals = ReferenceDequeueIntervalEstimator(window=2 * span)
+    for i in range(MICRO_FILL + 1):
+        opt_intervals.record_departure(i * spacing)
+        ref_intervals.record_departure(i * spacing)
+    results.append(_micro_pair(
+        "DequeueIntervalEstimator.average_interval",
+        lambda: opt_intervals.average_interval(now),
+        lambda: ref_intervals.average_interval(now), queries))
+
+    opt_bursts = BurstSizeTracker(window=2 * span)
+    ref_bursts = ReferenceBurstSizeTracker(window=2 * span)
+    for i in range(MICRO_FILL):
+        opt_bursts.record_departure(i * spacing, 1200 + (i % 7) * 100)
+        ref_bursts.record_departure(i * spacing, 1200 + (i % 7) * 100)
+    results.append(_micro_pair(
+        "BurstSizeTracker.max_burst_bytes",
+        lambda: opt_bursts.max_burst_bytes(now),
+        lambda: ref_bursts.max_burst_bytes(now), queries))
+
+    opt_rate = SlidingWindowRate(window=2 * span)
+    ref_rate = ReferenceSlidingWindowRate(window=2 * span)
+    for i in range(MICRO_FILL):
+        opt_rate.record(i * spacing, 1200)
+        ref_rate.record(i * spacing, 1200)
+    results.append(_micro_pair(
+        "SlidingWindowRate.rate_bps",
+        lambda: opt_rate.rate_bps(now), lambda: ref_rate.rate_bps(now),
+        queries))
+
+    for row in results:
+        row["speedup"] = (row["optimized_ops_per_sec"]
+                          / row["reference_ops_per_sec"])
+    return results
+
+
+def bench_datapath(flows: int, packets: int = 20_000) -> dict:
+    """Aggregate ops/sec of the per-packet entry points at ``flows``."""
+    sim = Simulator()
+    queue = DropTailQueue(capacity_bytes=10_000_000)
+    ap = ZhugeAP(sim, queue, rng=DeterministicRandom(1))
+    flow_objs = [FiveTuple("server", "client", 1000 + i, 2000 + i)
+                 for i in range(flows)]
+    for flow in flow_objs:
+        ap.register_flow(flow, FeedbackKind.OUT_OF_BAND)
+    ap.forward_downlink = lambda p: None
+    ap.forward_uplink = lambda p: None
+
+    t_data = 0.0
+    t_ack = 0.0
+    t = 0.0
+    for i in range(packets):
+        flow = flow_objs[i % flows]
+        data = Packet(flow, 1200, seq=i)
+        queue.enqueue(data, t)
+        t0 = time.perf_counter()
+        ap.on_downlink(data)
+        t_data += time.perf_counter() - t0
+        queue.dequeue(t + 0.002)
+        ack = Packet(flow.reversed(), ACK_SIZE, PacketKind.ACK, ack=i)
+        t0 = time.perf_counter()
+        ap.on_uplink(ack)
+        t_ack += time.perf_counter() - t0
+        t += 0.005
+
+    predict_calls = min(packets, 20_000)
+    predict_ops = _time_calls(ap.fortune_teller.predict, predict_calls)
+    return {
+        "flows": flows,
+        "packets": packets,
+        "predict_ops_per_sec": predict_ops,
+        "on_data_packet_ops_per_sec": packets / t_data,
+        "ack_delay_ops_per_sec": packets / t_ack,
+    }
+
+
+def run_hotpath_bench(queries: int = 20_000, packets: int = 20_000,
+                      flow_counts=(1, 10, 100)) -> dict:
+    return {
+        "micro": bench_estimator_micro(queries=queries),
+        "datapath": [bench_datapath(flows, packets=packets)
+                     for flows in flow_counts],
+    }
+
+
+def write_results(path: str | Path, payload: dict | None = None) -> dict:
+    """Append one run to the trajectory file at ``path`` and return it."""
+    path = Path(path)
+    run = dict(payload if payload is not None else run_hotpath_bench())
+    run["recorded_at"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds")
+    run["python"] = sys.version.split()[0]
+
+    doc = {"schema": SCHEMA, "runs": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if existing.get("schema") == SCHEMA:
+                doc["runs"] = list(existing.get("runs", []))
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt trajectory: start a fresh one
+    doc["runs"].append(run)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc

@@ -17,6 +17,9 @@ from dataclasses import dataclass
 
 from repro.core.feedback_updater import OutOfBandFeedbackUpdater
 from repro.core.fortune_teller import FortuneTeller
+from repro.metrics.hotpath import (HotpathCostReport,
+                                   snapshot_fortune_teller,
+                                   snapshot_updater)
 from repro.net.packet import ACK_SIZE, FiveTuple, Packet, PacketKind
 from repro.net.queue import DropTailQueue
 from repro.sim.engine import Simulator
@@ -66,6 +69,52 @@ def measure_per_packet_cost(packets: int = 20_000) -> float:
         t += 0.005
     elapsed = time.perf_counter() - start
     return elapsed / packets
+
+
+def measure_component_costs(packets: int = 20_000) -> list[HotpathCostReport]:
+    """Per-stage wall-clock cost of the datapath, with hot-path counters.
+
+    Runs the same workload as :func:`measure_per_packet_cost` but times
+    the two Zhuge stages separately — ``on_data_packet`` (Fortune Teller
+    prediction + delta banking) and ``ack_delay`` (distribution sampling
+    + token spending) — and attaches each component's
+    :mod:`repro.metrics.hotpath` counter snapshot, so Fig. 21 can report
+    where the per-packet budget actually goes.
+    """
+    sim = Simulator()
+    queue = DropTailQueue(capacity_bytes=10_000_000)
+    teller = FortuneTeller(sim, queue)
+    updater = OutOfBandFeedbackUpdater(sim, teller,
+                                       rng=DeterministicRandom(1))
+    flow = FiveTuple("s", "c", 1, 2)
+
+    t_data = 0.0
+    t_ack = 0.0
+    t = 0.0
+    for i in range(packets):
+        data = Packet(flow, 1200, seq=i)
+        queue.enqueue(data, t)
+        t0 = time.perf_counter()
+        updater.on_data_packet(data)
+        t_data += time.perf_counter() - t0
+        queue.dequeue(t + 0.002)
+        t0 = time.perf_counter()
+        updater.ack_delay(t + 0.004)
+        t_ack += time.perf_counter() - t0
+        t += 0.005
+
+    return [
+        HotpathCostReport(
+            stage="on_data_packet", calls=packets,
+            seconds_per_call=t_data / packets,
+            ops_per_sec=packets / t_data if t_data > 0 else float("inf"),
+            stats=snapshot_fortune_teller(teller).as_dict()),
+        HotpathCostReport(
+            stage="ack_delay", calls=packets,
+            seconds_per_call=t_ack / packets,
+            ops_per_sec=packets / t_ack if t_ack > 0 else float("inf"),
+            stats=snapshot_updater(updater).as_dict()),
+    ]
 
 
 def fig21_cpu_overhead(flow_counts=(1, 2, 3, 4, 5),

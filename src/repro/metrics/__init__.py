@@ -12,8 +12,20 @@ from repro.metrics.recorder import (
     RateRecorder,
     degradation_duration,
 )
+from repro.metrics.hotpath import (
+    HotpathCostReport,
+    HotpathStats,
+    snapshot_ap,
+    snapshot_fortune_teller,
+    snapshot_updater,
+)
 
 __all__ = [
+    "HotpathCostReport",
+    "HotpathStats",
+    "snapshot_ap",
+    "snapshot_fortune_teller",
+    "snapshot_updater",
     "cdf_points",
     "ccdf_points",
     "percentile",

@@ -1,6 +1,5 @@
 """Tests for FastAck and passthrough baselines."""
 
-import pytest
 
 from repro.baselines.fastack import FastAckProxy
 from repro.baselines.passthrough import PassthroughAP

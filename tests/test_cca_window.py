@@ -90,7 +90,7 @@ class TestBbr:
 
     def test_cwnd_tracks_bdp(self):
         cca = BbrCca()
-        end = self._feed(cca, 0.05, 10e6, 3.0)
+        self._feed(cca, 0.05, 10e6, 3.0)
         bdp = 10e6 * 0.05 / 8
         assert cca.cwnd == pytest.approx(2 * bdp, rel=0.5)
 

@@ -110,7 +110,7 @@ class TestAlgorithm2:
         assert first == pytest.approx(0.010)
         # Second ACK arrives at t=0.001; without new deltas it must still
         # wait until the first one has gone out.
-        updater.delta_history._deltas.clear()
+        updater.delta_history.clear()
         second = updater.ack_delay(0.001)
         assert second == pytest.approx(0.009)
 

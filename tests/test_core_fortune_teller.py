@@ -80,7 +80,7 @@ class TestQShort:
 
 class TestTx:
     def test_tx_matches_interval(self, sim, queue, teller, flow):
-        end = drive_steady_state(sim, queue, teller, rate_pps=200, flow=flow)
+        drive_steady_state(sim, queue, teller, rate_pps=200, flow=flow)
         prediction = teller.predict()
         assert prediction.tx == pytest.approx(0.005, rel=0.1)
 

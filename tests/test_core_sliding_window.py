@@ -33,6 +33,38 @@ class TestSlidingWindowRate:
         with pytest.raises(ValueError):
             SlidingWindowRate(window=0.0)
 
+    def test_warmup_divides_by_elapsed_not_full_window(self):
+        # Regression: the seed divided by the full 40 ms window from the
+        # first packet on, under-reporting txRate (and inflating qLong)
+        # during warm-up. 2400 B over 10 ms of busy time is 1.92 Mbps,
+        # not 2400 B / 40 ms = 480 kbps.
+        win = SlidingWindowRate(window=0.040)
+        win.record(0.0, 1200)
+        win.record(0.010, 1200)
+        assert win.rate_bps(0.010) == pytest.approx(2400 * 8 / 0.010)
+
+    def test_warmup_floor_prevents_divide_by_zero(self):
+        win = SlidingWindowRate(window=0.040, min_span=0.001)
+        win.record(0.0, 1200)
+        # Zero elapsed busy time: the span floors at min_span.
+        assert win.rate_bps(0.0) == pytest.approx(1200 * 8 / 0.001)
+
+    def test_warmup_restarts_after_idle_gap(self):
+        win = SlidingWindowRate(window=0.040)
+        for i in range(8):
+            win.record(i * 0.005, 1200)
+        # Idle gap far longer than the window: the busy-time clock must
+        # restart, so the next lone event reads as a fresh warm-up.
+        win.record(10.0, 1200)
+        assert win.rate_bps(10.0) == pytest.approx(1200 * 8 / 0.001)
+
+    def test_full_window_unaffected_by_warmup_rule(self):
+        win = SlidingWindowRate(window=0.040)
+        for i in range(20):
+            win.record(i * 0.010, 1200)
+        # Elapsed busy time exceeds the window: same result as always.
+        assert win.rate_bps(0.190) == pytest.approx(5 * 1200 * 8 / 0.040)
+
     def test_rate_halves_when_stream_halves(self):
         win = SlidingWindowRate(window=0.040)
         for i in range(4):
@@ -100,6 +132,38 @@ class TestBurstSizeTracker:
 
     def test_empty_zero(self):
         assert BurstSizeTracker().max_burst_bytes(0.0) == 0
+
+    def test_stale_current_burst_expires_after_idle_gap(self):
+        # Regression: the seed never expired the *current* (unclosed)
+        # burst, so after an idle gap longer than the window the Eq. 1
+        # correction still subtracted the ancient burst from qSize and
+        # the Fortune Teller under-predicted qLong on the first packets
+        # after the gap. Idle gap > window => correction decays to 0.
+        tracker = BurstSizeTracker(window=1.0)
+        for i in range(4):
+            tracker.record_departure(0.0001 * i, 1200)  # unclosed burst
+        assert tracker.max_burst_bytes(0.5) == 4800     # still in window
+        assert tracker.max_burst_bytes(2.0) == 0        # gap > window
+
+    def test_fresh_burst_after_idle_gap_not_merged_with_stale(self):
+        tracker = BurstSizeTracker(window=1.0)
+        tracker.record_departure(0.0, 5000)
+        tracker.record_departure(5.0, 1200)   # new burst after long idle
+        tracker.record_departure(5.0001, 1200)
+        assert tracker.max_burst_bytes(5.0002) == 2400
+
+    def test_max_is_monotonic_deque_front(self):
+        # Decreasing burst sizes: the max must follow expiry of the
+        # largest, not stick to a stale global maximum.
+        tracker = BurstSizeTracker(window=0.030)
+        tracker.record_departure(0.000, 4800)
+        tracker.record_departure(0.010, 3600)
+        tracker.record_departure(0.020, 1200)
+        tracker.record_departure(0.030, 600)
+        assert tracker.max_burst_bytes(0.030) == 4800
+        assert tracker.max_burst_bytes(0.035) == 3600  # 4800 expired
+        assert tracker.max_burst_bytes(0.045) == 1200  # 3600 expired
+        assert tracker.max_burst_bytes(0.055) == 600   # current burst
 
 
 class TestDelayDeltaHistory:

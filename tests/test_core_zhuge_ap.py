@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.feedback_updater import FeedbackKind
 from repro.core.zhuge_ap import ZhugeAP
-from repro.net.packet import FiveTuple, Packet, PacketKind
+from repro.net.packet import Packet, PacketKind
 from repro.net.queue import DropTailQueue
 
 
@@ -72,6 +72,54 @@ class TestDatapath:
         ap.on_downlink(Packet(flow, 1200))
         ap.on_uplink(Packet(flow.reversed(), 60, PacketKind.ACK))
         assert ap.packets_processed == 2
+
+
+class TestPendingDeltaBoundedness:
+    def test_pending_deltas_age_out_under_delayed_acks(self, sim, queue,
+                                                       flow):
+        """Regression: in non-distributional mode, ACKs arriving slower
+        than data packets (delayed-ACK TCP) must not leak banked deltas
+        without bound — entries older than the window age out."""
+        ap = ZhugeAP(sim, queue)
+        ap.register_flow(flow, FeedbackKind.OUT_OF_BAND,
+                         distributional=False)
+        ap.forward_downlink = lambda p: None
+        ap.forward_uplink = lambda p: None
+        updater = ap.out_of_band_updater(flow)
+        assert updater.distributional is False
+
+        # 500 data packets at 1 ms spacing, zero ACKs: the worst case of
+        # the leak. With the 40 ms window, only ~window/spacing entries
+        # may survive at any moment.
+        for i in range(500):
+            sim.schedule(i * 0.001,
+                         lambda i=i: ap.on_downlink(Packet(flow, 1200,
+                                                           seq=i)))
+        sim.run()
+        assert updater.pending_delta_count <= 64
+        assert updater.pending_deltas_expired >= 400
+
+    def test_distributional_mode_banks_no_pending(self, sim, queue, flow):
+        ap = ZhugeAP(sim, queue)
+        ap.register_flow(flow, FeedbackKind.OUT_OF_BAND)
+        ap.forward_downlink = lambda p: None
+        for i in range(50):
+            ap.on_downlink(Packet(flow, 1200, seq=i))
+        assert ap.out_of_band_updater(flow).pending_delta_count == 0
+
+    def test_hotpath_stats_surface(self, sim, queue, flow):
+        ap = ZhugeAP(sim, queue)
+        ap.register_flow(flow, FeedbackKind.OUT_OF_BAND)
+        ap.forward_downlink = lambda p: None
+        ap.forward_uplink = lambda p: None
+        for i in range(10):
+            ap.on_downlink(Packet(flow, 1200, seq=i))
+        ap.on_uplink(Packet(flow.reversed(), 60, PacketKind.ACK))
+        sim.run()
+        stats = {s.component: s for s in ap.hotpath_stats()}
+        assert stats["total"].predictions == 10
+        assert stats["total"].acks_delayed == 1
+        assert stats["total"].estimator_ops > 0
 
 
 class TestAccuracyHookup:

@@ -1,6 +1,5 @@
 """Tests for the first-mile (client-side) Zhuge extension (§6)."""
 
-import pytest
 
 from repro.experiments.firstmile import (FirstMileConfig, LocalFortuneLoop,
                                          run_first_mile)
@@ -56,7 +55,6 @@ class TestLocalFortuneLoop:
     def test_synthetic_feedback_counted(self, sim, flow):
         from repro.cca.gcc import GccController
         from repro.core.fortune_teller import FortuneTeller
-        from repro.net.packet import Packet
         from repro.net.queue import DropTailQueue
         from repro.transport.rtp import RtpSender
 

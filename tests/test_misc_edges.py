@@ -26,7 +26,7 @@ class TestOutOfBandNonDistributional:
         updater = OutOfBandFeedbackUpdater(sim, teller,
                                            rng=DeterministicRandom(1),
                                            distributional=False)
-        updater._pending_deltas.append(0.004)
+        updater._pending_deltas.append((0.0, 0.004))
         assert updater.ack_delay(0.0) == pytest.approx(0.004)
         # Queue of pending deltas drained.
         assert updater.ack_delay(0.1) == 0.0

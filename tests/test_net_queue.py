@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.packet import FiveTuple, Packet
+from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
 
 

@@ -1,0 +1,160 @@
+"""Property tests: O(1) estimators == naive re-scan references, bit-for-bit.
+
+The amortized-O(1) estimators in ``repro.core.sliding_window`` (running
+exact sums, monotonic-deque max, ring-buffer sampling) must be
+behaviourally indistinguishable from the naive re-scan implementations
+kept in ``repro.core.sliding_window_reference`` — on *every* query, for
+arbitrary event streams. The time-step strategy deliberately mixes
+sub-resolution steps, exact window-boundary steps, and idle gaps longer
+than any window, because expiry boundaries and idle-then-bursty
+transitions are where running state goes stale.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sliding_window import (
+    BurstSizeTracker,
+    DelayDeltaHistory,
+    DequeueIntervalEstimator,
+    ExactFloatSum,
+    SlidingWindowRate,
+)
+from repro.core.sliding_window_reference import (
+    ReferenceBurstSizeTracker,
+    ReferenceDelayDeltaHistory,
+    ReferenceDequeueIntervalEstimator,
+    ReferenceSlidingWindowRate,
+)
+from repro.sim.random import DeterministicRandom
+
+WINDOW = 0.040
+
+# Time steps: zero steps, sub-millisecond AMPDU spacing, steps that land
+# exactly on the window boundary, and idle gaps far beyond any window.
+time_steps = st.one_of(
+    st.sampled_from([0.0, 0.0001, 0.0005, 0.001, 0.0015, 0.005,
+                     0.0399, 0.040, 0.0401, 0.05, 0.5, 2.0]),
+    st.floats(min_value=0.0, max_value=0.1,
+              allow_nan=False, allow_infinity=False),
+)
+deltas = st.floats(min_value=0.0, max_value=0.050,
+                   allow_nan=False, allow_infinity=False)
+sizes = st.integers(min_value=1, max_value=65_535)
+
+
+class TestExactFloatSum:
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3,
+                              allow_nan=False), max_size=100),
+           st.integers(min_value=0, max_value=100))
+    def test_matches_fsum_after_prefix_removal(self, values, drop):
+        """Windowed usage: add all, expire a prefix -> exact remainder."""
+        drop = min(drop, len(values))
+        acc = ExactFloatSum()
+        for v in values:
+            acc.add(v)
+        for v in values[:drop]:
+            acc.subtract(v)
+        assert acc.value() == math.fsum(values[drop:])
+
+    def test_empty_is_exact_zero(self):
+        acc = ExactFloatSum()
+        acc.add(0.1)
+        acc.add(0.2)
+        acc.subtract(0.1)
+        acc.subtract(0.2)
+        assert acc.value() == 0.0
+
+
+class TestSlidingWindowRateEquivalence:
+    @given(st.lists(st.tuples(time_steps, sizes, st.booleans()),
+                    max_size=200))
+    @settings(max_examples=200)
+    def test_identical_rates(self, ops):
+        opt = SlidingWindowRate(WINDOW)
+        ref = ReferenceSlidingWindowRate(WINDOW)
+        t = 0.0
+        for dt, nbytes, query in ops:
+            t += dt
+            opt.record(t, nbytes)
+            ref.record(t, nbytes)
+            if query:
+                assert opt.rate_bps(t) == ref.rate_bps(t)
+                assert opt.event_count == ref.event_count
+
+
+class TestDequeueIntervalEquivalence:
+    @given(st.lists(st.tuples(time_steps, st.booleans()), max_size=300))
+    @settings(max_examples=200)
+    def test_identical_averages(self, ops):
+        opt = DequeueIntervalEstimator(WINDOW)
+        ref = ReferenceDequeueIntervalEstimator(WINDOW)
+        t = 0.0
+        for dt, query in ops:
+            t += dt
+            opt.record_departure(t)
+            ref.record_departure(t)
+            if query:
+                assert opt.average_interval(t) == ref.average_interval(t)
+
+
+class TestBurstSizeEquivalence:
+    @given(st.lists(st.tuples(time_steps, sizes, st.booleans()),
+                    max_size=300))
+    @settings(max_examples=200)
+    def test_identical_maxima(self, ops):
+        opt = BurstSizeTracker(window=0.050)
+        ref = ReferenceBurstSizeTracker(window=0.050)
+        t = 0.0
+        for dt, nbytes, query in ops:
+            t += dt
+            opt.record_departure(t, nbytes)
+            ref.record_departure(t, nbytes)
+            if query:
+                assert opt.max_burst_bytes(t) == ref.max_burst_bytes(t)
+        # Always compare the final state too, even when no step queried.
+        assert opt.max_burst_bytes(t) == ref.max_burst_bytes(t)
+
+
+class TestDelayDeltaEquivalence:
+    @given(st.lists(st.tuples(time_steps, deltas,
+                              st.sampled_from(["push", "sample", "mean"])),
+                    max_size=200))
+    @settings(max_examples=200)
+    def test_identical_streams(self, ops):
+        """Same seed, same ops -> identical samples, means and lengths.
+
+        Sample equivalence requires the two RNGs to stay in lockstep,
+        which itself proves the windows hold identical value sequences.
+        """
+        opt = DelayDeltaHistory(WINDOW, rng=DeterministicRandom(3))
+        ref = ReferenceDelayDeltaHistory(WINDOW, rng=DeterministicRandom(3))
+        t = 0.0
+        for dt, delta, op in ops:
+            t += dt
+            if op == "push":
+                opt.push(t, delta)
+                ref.push(t, delta)
+            elif op == "sample":
+                assert opt.sample(t) == ref.sample(t)
+            else:
+                assert opt.mean(t) == ref.mean(t)
+            assert len(opt) == len(ref)
+
+    @given(st.lists(st.tuples(time_steps, deltas), min_size=1,
+                    max_size=100))
+    def test_ring_buffer_compaction_preserves_window(self, events):
+        """Heavy expiry (forcing compaction) never corrupts the window."""
+        opt = DelayDeltaHistory(WINDOW, rng=DeterministicRandom(5))
+        ref = ReferenceDelayDeltaHistory(WINDOW, rng=DeterministicRandom(5))
+        t = 0.0
+        for _ in range(3):  # several passes -> many dead prefixes
+            for dt, delta in events:
+                t += dt
+                opt.push(t, delta)
+                ref.push(t, delta)
+                assert opt.mean(t) == ref.mean(t)
+            t += 1.0  # idle gap: empty both windows
+            assert opt.mean(t) == ref.mean(t) == 0.0

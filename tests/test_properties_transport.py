@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.cca import make_rate_cca, make_window_cca
 from repro.cca.base import FeedbackPacketReport
 from repro.cca.cubic import CubicCca
-from repro.net.packet import FiveTuple, Packet, PacketKind
+from repro.net.packet import FiveTuple
 from repro.sim.engine import Simulator
 from repro.transport.tcp import TcpReceiver, TcpSender
 

@@ -9,7 +9,6 @@ import pytest
 
 from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.traces.synthetic import drop_trace, make_trace
-from repro.traces.trace import BandwidthTrace
 
 
 def short_trace(seed=2):

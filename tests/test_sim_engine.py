@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Event, SimulationError, Simulator, Timer
+from repro.sim.engine import Event, SimulationError, Timer
 
 
 class TestScheduling:

@@ -146,7 +146,6 @@ class TestCwndValidation:
         sender.transmit = lambda p: None
         sender.cca.cwnd = 500 * sender.mss  # huge unused window
         # Simulate an ACK arriving with empty buffer and no inflight.
-        ack = Packet(flow.reversed(), 60, ack=0)
         sender._highest_acked = -1
         sender.on_ack(Packet(flow.reversed(), 60, ack=0))
         assert sender.cca.cwnd < 500 * sender.mss

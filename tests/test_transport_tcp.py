@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cca.cubic import CubicCca
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import Packet
 from repro.transport.tcp import TcpReceiver, TcpSender
 
 
