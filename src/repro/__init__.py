@@ -24,6 +24,13 @@ from repro.core import (
     ZhugeAP,
     FeedbackKind,
 )
+from repro.campaign import (
+    ScenarioSpec,
+    ScenarioSummary,
+    TraceSpec,
+    run_campaign,
+    run_specs,
+)
 from repro.experiments import ScenarioConfig, ScenarioResult, run_scenario
 from repro.traces import BandwidthTrace, make_trace, ethernet_trace
 
@@ -38,6 +45,11 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioResult",
     "run_scenario",
+    "ScenarioSpec",
+    "ScenarioSummary",
+    "TraceSpec",
+    "run_campaign",
+    "run_specs",
     "BandwidthTrace",
     "make_trace",
     "ethernet_trace",

@@ -1,0 +1,121 @@
+"""Content-addressed result cache for campaign cells.
+
+One JSON file per (spec, code-version) pair, keyed by
+:meth:`ScenarioSpec.content_hash`. Because the key covers a fingerprint
+of the whole ``repro`` source tree, editing the simulator silently
+orphans every old entry instead of serving stale results. Corrupted or
+foreign files are treated as misses (and removed), never as errors — a
+damaged cache can only cost recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.spec import (SPEC_SCHEMA_VERSION, ScenarioSpec,
+                                 code_fingerprint)
+from repro.campaign.summary import ScenarioSummary
+
+#: Environment override for the cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR``, else XDG cache, else ``~/.cache``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-campaign"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0  # corrupted entries removed on read
+
+
+@dataclass
+class ResultCache:
+    """Spec-hash -> summary store under ``root`` (created lazily)."""
+
+    root: Path = field(default_factory=default_cache_root)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: ScenarioSpec) -> ScenarioSummary | None:
+        """The cached summary for ``spec``, or None on any miss."""
+        key = spec.content_hash()
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            if (payload["schema"] != SPEC_SCHEMA_VERSION
+                    or payload["key"] != key
+                    or payload["code"] != code_fingerprint()):
+                raise ValueError("cache entry does not match current code")
+            summary = ScenarioSummary.from_dict(payload["summary"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupted / foreign entry: drop it and recompute the cell.
+            self.stats.misses += 1
+            self.stats.evictions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return summary
+
+    def put(self, spec: ScenarioSpec, summary: ScenarioSummary) -> Path:
+        """Atomically persist ``summary`` under the spec's hash."""
+        key = spec.content_hash()
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": SPEC_SCHEMA_VERSION,
+                   "key": key,
+                   "code": code_fingerprint(),
+                   "spec": spec.as_dict(),
+                   "summary": summary.as_dict()}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+
+def resolve_cache(cache) -> ResultCache | None:
+    """Normalize the ``cache=`` argument accepted by the runner.
+
+    ``None``/``False`` -> no caching; ``True`` -> the default root; a
+    path -> a cache rooted there; a :class:`ResultCache` -> itself.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(root=Path(cache))

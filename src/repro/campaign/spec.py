@@ -1,0 +1,239 @@
+"""Pure-data scenario specifications for experiment campaigns.
+
+A :class:`ScenarioSpec` is the declarative mirror of
+:class:`repro.experiments.scenario.ScenarioConfig`: every field is a
+plain JSON value, the bandwidth trace is *referenced* (family/seed/
+duration, a constant rate, or a file path) rather than held as a live
+:class:`BandwidthTrace`, and the whole spec has a stable content hash.
+That makes specs safe to pickle across process boundaries, to store in
+campaign manifests, and to use as content-addressed cache keys.
+
+The content hash covers the spec *and* a fingerprint of the ``repro``
+source tree, so cached results are invalidated automatically whenever
+the simulator code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.traces.synthetic import (TRACE_NAMES, abc_legacy_trace,
+                                    ethernet_trace, make_trace)
+from repro.traces.trace import BandwidthTrace
+
+#: Bumping this invalidates every cache entry regardless of code changes
+#: (e.g. when the summary schema itself evolves).
+SPEC_SCHEMA_VERSION = 1
+
+#: Families :meth:`TraceSpec.family` accepts, beyond the five synthetic
+#: wireless traces: wired access and the Appendix-B legacy cellular model.
+EXTRA_FAMILIES = ("eth", "abc-legacy")
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file, for cache invalidation.
+
+    Computed once per process; any edit to the simulator changes the
+    fingerprint, which changes every spec hash, which makes every old
+    cache entry unreachable (stale entries are left on disk — they are
+    content-addressed, so they can never be returned for new code).
+    """
+    root = Path(__file__).resolve().parent.parent  # src/repro
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def _canonical_family(name: str) -> str:
+    if name.lower() == "abc-legacy":
+        return "abc-legacy"
+    return name
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Reference to a bandwidth trace, buildable in any process.
+
+    ``kind`` selects the source:
+
+    * ``"family"`` — a calibrated synthetic generator (``W1``..``C3``,
+      ``eth``, ``abc-legacy``), identified by (family, duration, seed);
+    * ``"constant"`` — a flat rate (fairness/competition scenarios);
+    * ``"file"`` — a JSON trace file (the hash covers the file bytes).
+    """
+
+    kind: str
+    family: Optional[str] = None
+    duration: float = 60.0
+    seed: int = 1
+    interval: Optional[float] = None   # None -> the generator's default
+    rate_bps: Optional[float] = None
+    name: Optional[str] = None
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("family", "constant", "file"):
+            raise ValueError(f"unknown trace spec kind {self.kind!r}")
+        if self.kind == "family":
+            family = _canonical_family(self.family or "")
+            if family not in TRACE_NAMES + EXTRA_FAMILIES:
+                raise ValueError(f"unknown trace family {self.family!r}")
+            object.__setattr__(self, "family", family)
+        elif self.kind == "constant" and (self.rate_bps is None
+                                          or self.rate_bps <= 0):
+            raise ValueError(f"constant trace needs rate_bps > 0: "
+                             f"{self.rate_bps}")
+        elif self.kind == "file" and not self.path:
+            raise ValueError("file trace needs a path")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def for_family(cls, family: str, duration: float, seed: int,
+                   interval: Optional[float] = None) -> "TraceSpec":
+        return cls(kind="family", family=family, duration=duration,
+                   seed=seed, interval=interval)
+
+    @classmethod
+    def constant(cls, rate_bps: float, duration: float,
+                 interval: float = 0.200,
+                 name: str = "constant") -> "TraceSpec":
+        return cls(kind="constant", rate_bps=rate_bps, duration=duration,
+                   interval=interval, name=name)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TraceSpec":
+        return cls(kind="file", path=str(path))
+
+    # -- materialization -----------------------------------------------------
+
+    def build(self) -> BandwidthTrace:
+        """Generate / load the referenced trace."""
+        if self.kind == "file":
+            return BandwidthTrace.load(self.path)
+        if self.kind == "constant":
+            return BandwidthTrace.constant(self.rate_bps, self.duration,
+                                           self.interval or 0.200,
+                                           self.name or "constant")
+        kwargs = {} if self.interval is None else {"interval": self.interval}
+        if self.family == "eth":
+            return ethernet_trace(duration=self.duration, seed=self.seed,
+                                  **kwargs)
+        if self.family == "abc-legacy":
+            return abc_legacy_trace(duration=self.duration, seed=self.seed,
+                                    **kwargs)
+        return make_trace(self.family, duration=self.duration,
+                          seed=self.seed, **kwargs)
+
+    def label(self) -> str:
+        if self.kind == "family":
+            return self.family
+        if self.kind == "constant":
+            return self.name or "constant"
+        return Path(self.path).stem
+
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceSpec":
+        return cls(**payload)
+
+    def _hash_payload(self) -> dict:
+        payload = self.as_dict()
+        if self.kind == "file":
+            payload["file_sha256"] = hashlib.sha256(
+                Path(self.path).read_bytes()).hexdigest()
+        return payload
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """JSON-serializable mirror of :class:`ScenarioConfig`.
+
+    Field-for-field identical to the config except that ``trace`` is a
+    :class:`TraceSpec`; :meth:`to_config` materializes the live config
+    inside whichever process runs the cell.
+    """
+
+    trace: TraceSpec
+    protocol: str = "rtp"
+    cca: str = "gcc"
+    ap_mode: str = "none"
+    queue_kind: str = "fifo"
+    duration: float = 60.0
+    seed: int = 1
+    wan_delay: float = 0.020
+    uplink_scale: float = 0.5
+    queue_capacity: int = 375_000
+    fps: float = 24.0
+    initial_bps: float = 1e6
+    max_bps: float = 4e6
+    competitors: int = 0
+    competitor_period: Optional[float] = None
+    interferers: int = 0
+    mcs_switch_period: Optional[float] = None
+    record_predictions: bool = False
+    app: str = "video"
+    paced_sender: bool = False
+    link_kind: str = "wifi"
+    rtc_flows: int = 1
+    zhuge_flow_mask: Optional[tuple[bool, ...]] = None
+    warmup: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.zhuge_flow_mask is not None:
+            object.__setattr__(self, "zhuge_flow_mask",
+                               tuple(bool(b) for b in self.zhuge_flow_mask))
+
+    def to_config(self) -> ScenarioConfig:
+        """Build the live :class:`ScenarioConfig`, materializing the trace."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)
+                  if f.name != "trace"}
+        return ScenarioConfig(trace=self.trace.build(), **values)
+
+    def label(self) -> str:
+        """Short human-readable cell label for progress lines."""
+        parts = [self.trace.label(), f"{self.protocol}/{self.cca}",
+                 f"ap={self.ap_mode}", f"seed={self.seed}"]
+        return " ".join(parts)
+
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        payload = {f.name: getattr(self, f.name) for f in fields(self)
+                   if f.name != "trace"}
+        if payload["zhuge_flow_mask"] is not None:
+            payload["zhuge_flow_mask"] = list(payload["zhuge_flow_mask"])
+        payload["trace"] = self.trace.as_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        payload = dict(payload)
+        payload["trace"] = TraceSpec.from_dict(payload["trace"])
+        mask = payload.get("zhuge_flow_mask")
+        if mask is not None:
+            payload["zhuge_flow_mask"] = tuple(mask)
+        return cls(**payload)
+
+    def content_hash(self) -> str:
+        """Stable digest of (schema, code fingerprint, spec contents)."""
+        payload = self.as_dict()
+        payload["trace"] = self.trace._hash_payload()
+        blob = json.dumps({"schema": SPEC_SCHEMA_VERSION,
+                           "code": code_fingerprint(),
+                           "spec": payload},
+                          sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,146 @@
+"""Picklable scenario summaries — the unit campaign workers return.
+
+A full :class:`~repro.experiments.scenario.ScenarioResult` drags the
+live :class:`ScenarioConfig` (with its materialized trace) along and is
+meant to stay inside the worker process. :class:`ScenarioSummary` keeps
+exactly what every figure driver and the CLI read: the warmup-filtered
+per-flow sample series (network RTT, CCA-perceived RTT, frame delays),
+goodput/bitrate scalars, and the prediction pairs when recorded. It
+round-trips through JSON bit-exactly, so a summary recomputed in a
+subprocess or replayed from the cache is indistinguishable from one
+computed in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.spec import ScenarioSpec
+from repro.metrics.recorder import FrameRecorder, RttRecorder
+from repro.metrics.stats import percentile
+
+
+@dataclass
+class FlowSummary:
+    """One RTC flow's summary series (all post-warmup)."""
+
+    rtt_times: list[float] = field(default_factory=list)
+    rtt_values: list[float] = field(default_factory=list)
+    cca_rtt_times: list[float] = field(default_factory=list)
+    cca_rtt_values: list[float] = field(default_factory=list)
+    frame_times: list[float] = field(default_factory=list)
+    frame_delays: list[float] = field(default_factory=list)
+    goodput_bps: float = 0.0
+    mean_bitrate_bps: float = 0.0
+
+    @classmethod
+    def from_flow(cls, flow) -> "FlowSummary":
+        """Build from a :class:`~repro.experiments.scenario.FlowResult`."""
+        return cls(rtt_times=list(flow.rtt.times),
+                   rtt_values=list(flow.rtt.rtts),
+                   cca_rtt_times=list(flow.cca_rtt.times),
+                   cca_rtt_values=list(flow.cca_rtt.rtts),
+                   frame_times=list(flow.frames.frame_times),
+                   frame_delays=list(flow.frames.frame_delays),
+                   goodput_bps=flow.goodput_bps,
+                   mean_bitrate_bps=flow.mean_bitrate_bps)
+
+    @property
+    def rtt(self) -> RttRecorder:
+        """The network-RTT series as a recorder (fresh copy per call)."""
+        return RttRecorder(times=list(self.rtt_times),
+                           rtts=list(self.rtt_values))
+
+    @property
+    def cca_rtt(self) -> RttRecorder:
+        return RttRecorder(times=list(self.cca_rtt_times),
+                           rtts=list(self.cca_rtt_values))
+
+    @property
+    def frames(self) -> FrameRecorder:
+        return FrameRecorder(frame_times=list(self.frame_times),
+                             frame_delays=list(self.frame_delays))
+
+    def as_dict(self) -> dict:
+        return {"rtt_times": self.rtt_times,
+                "rtt_values": self.rtt_values,
+                "cca_rtt_times": self.cca_rtt_times,
+                "cca_rtt_values": self.cca_rtt_values,
+                "frame_times": self.frame_times,
+                "frame_delays": self.frame_delays,
+                "goodput_bps": self.goodput_bps,
+                "mean_bitrate_bps": self.mean_bitrate_bps}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FlowSummary":
+        return cls(**payload)
+
+
+@dataclass
+class ScenarioSummary:
+    """Everything the figures need from one campaign cell."""
+
+    spec: ScenarioSpec
+    flows: list[FlowSummary] = field(default_factory=list)
+    events_processed: int = 0
+    ap_packets: int = 0
+    prediction_pairs: list[tuple[float, float]] = field(default_factory=list)
+
+    @classmethod
+    def from_result(cls, result, spec: ScenarioSpec) -> "ScenarioSummary":
+        """Condense a worker-local :class:`ScenarioResult`."""
+        return cls(spec=spec,
+                   flows=[FlowSummary.from_flow(f) for f in result.flows],
+                   events_processed=result.events_processed,
+                   ap_packets=result.ap_packets,
+                   prediction_pairs=[tuple(p)
+                                     for p in result.prediction_pairs])
+
+    # Mirror the ScenarioResult conveniences so migrated drivers read
+    # summaries exactly as they read results.
+    @property
+    def rtt(self) -> RttRecorder:
+        return self.flows[0].rtt
+
+    @property
+    def frames(self) -> FrameRecorder:
+        return self.flows[0].frames
+
+    def measured_duration(self) -> float:
+        return self.spec.duration - self.spec.warmup
+
+    def as_dict(self) -> dict:
+        return {"spec": self.spec.as_dict(),
+                "flows": [f.as_dict() for f in self.flows],
+                "events_processed": self.events_processed,
+                "ap_packets": self.ap_packets,
+                "prediction_pairs": [list(p) for p in self.prediction_pairs]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSummary":
+        return cls(spec=ScenarioSpec.from_dict(payload["spec"]),
+                   flows=[FlowSummary.from_dict(f)
+                          for f in payload["flows"]],
+                   events_processed=payload["events_processed"],
+                   ap_packets=payload["ap_packets"],
+                   prediction_pairs=[tuple(p) for p in
+                                     payload["prediction_pairs"]])
+
+
+def summary_lines(label: str, summary: ScenarioSummary) -> list[str]:
+    """The CLI's standard per-run report (shared by run/compare/campaign)."""
+    flow = summary.flows[0]
+    rtt = flow.rtt
+    frames = flow.frames
+    lines = [f"--- {label} ---"]
+    if rtt.count:
+        lines.append(f"  P50 / P99 RTT:      "
+                     f"{percentile(rtt.rtts, 50) * 1000:6.0f} ms / "
+                     f"{percentile(rtt.rtts, 99) * 1000:.0f} ms")
+    lines.append(f"  RTT > 200 ms:       {rtt.tail_ratio() * 100:6.2f}%")
+    lines.append(f"  frame delay >400ms: "
+                 f"{frames.delayed_ratio() * 100:6.2f}%")
+    lines.append(f"  frames decoded:     {frames.count:6d}")
+    lines.append(f"  goodput:            "
+                 f"{flow.goodput_bps / 1e6:6.2f} Mbps")
+    return lines

@@ -1,9 +1,11 @@
-"""Command-line interface: run scenarios and inspect traces.
+"""Command-line interface: run scenarios, campaigns, and inspect traces.
 
 Usage::
 
     python -m repro run --trace W1 --protocol rtp --ap zhuge --duration 30
-    python -m repro compare --trace W1 --protocol rtp --duration 30
+    python -m repro compare --trace W1 --protocol rtp --duration 30 --jobs 3
+    python -m repro campaign --traces W1,W2 --schemes Gcc+FIFO,Gcc+Zhuge \
+        --seeds 1,2 --duration 30 --jobs 4
     python -m repro trace --family W2 --duration 60 --out w2.json
     python -m repro trace-stats w2.json
 """
@@ -11,29 +13,34 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
-from repro.metrics.stats import percentile
-from repro.traces.synthetic import (TRACE_NAMES, abc_legacy_trace,
-                                    ethernet_trace, make_trace)
+from repro.campaign import (ProgressPrinter, ResultCache, ScenarioSpec,
+                            TraceSpec, run_campaign, run_specs,
+                            summary_lines)
+from repro.experiments.drivers.format import format_table, mbps, pct
+from repro.experiments.drivers.traces_eval import (SCHEMES_BY_NAME,
+                                                   row_from_summaries,
+                                                   scheme_specs)
+from repro.traces.synthetic import TRACE_NAMES
 from repro.traces.trace import BandwidthTrace
 
+TRACE_CHOICES = list(TRACE_NAMES) + ["eth", "abc-legacy"]
+AP_MODES = ("none", "zhuge", "fastack", "abc")
 
-def _load_trace(args) -> BandwidthTrace:
+
+def _trace_spec(args) -> TraceSpec:
     if getattr(args, "trace_file", None):
-        return BandwidthTrace.load(args.trace_file)
-    family = args.trace
-    if family == "eth":
-        return ethernet_trace(duration=args.duration + 5, seed=args.seed)
-    if family == "abc-legacy":
-        return abc_legacy_trace(duration=args.duration + 5, seed=args.seed)
-    return make_trace(family, duration=args.duration + 5, seed=args.seed)
+        return TraceSpec.from_file(args.trace_file)
+    # +5 s of trace so playback never wraps during the measured window.
+    return TraceSpec.for_family(args.trace, duration=args.duration + 5,
+                                seed=args.seed)
 
 
-def _config_from_args(args, ap_mode: str) -> ScenarioConfig:
-    return ScenarioConfig(
-        trace=_load_trace(args),
+def _spec_from_args(args, ap_mode: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        trace=_trace_spec(args),
         protocol=args.protocol,
         cca=args.cca,
         ap_mode=ap_mode,
@@ -46,38 +53,128 @@ def _config_from_args(args, ap_mode: str) -> ScenarioConfig:
     )
 
 
-def _summarize(label: str, result) -> list[str]:
-    flow = result.flows[0]
-    lines = [f"--- {label} ---"]
-    if flow.rtt.count:
-        lines.append(f"  P50 / P99 RTT:      "
-                     f"{percentile(flow.rtt.rtts, 50) * 1000:6.0f} ms / "
-                     f"{percentile(flow.rtt.rtts, 99) * 1000:.0f} ms")
-    lines.append(f"  RTT > 200 ms:       {flow.rtt.tail_ratio() * 100:6.2f}%")
-    lines.append(f"  frame delay >400ms: "
-                 f"{flow.frames.delayed_ratio() * 100:6.2f}%")
-    lines.append(f"  frames decoded:     {flow.frames.count:6d}")
-    lines.append(f"  goodput:            "
-                 f"{flow.goodput_bps / 1e6:6.2f} Mbps")
-    return lines
+def _resolve_cache_args(args):
+    """The ``cache=`` value for the runner from --cache-dir/--no-cache."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        return ResultCache(root=cache_dir)
+    return True  # default root (~/.cache/repro-campaign or $REPRO_CACHE_DIR)
+
+
+def _csv(text: str) -> list[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
 
 
 def cmd_run(args) -> int:
-    result = run_scenario(_config_from_args(args, args.ap))
-    print("\n".join(_summarize(
+    summary = run_specs([_spec_from_args(args, args.ap)])[0]
+    print("\n".join(summary_lines(
         f"{args.protocol}/{args.cca} over {args.trace}, AP={args.ap}",
-        result)))
+        summary)))
     return 0
 
 
 def cmd_compare(args) -> int:
-    for ap_mode in ("none", "zhuge"):
-        result = run_scenario(_config_from_args(args, ap_mode))
-        print("\n".join(_summarize(f"AP mode: {ap_mode}", result)))
+    modes = _csv(args.ap_modes)
+    for mode in modes:
+        if mode not in AP_MODES:
+            raise SystemExit(f"unknown AP mode {mode!r}; "
+                             f"expected one of {AP_MODES}")
+    specs = [_spec_from_args(args, mode) for mode in modes]
+    summaries = run_specs(specs, jobs=args.jobs)
+    for mode, summary in zip(modes, summaries):
+        print("\n".join(summary_lines(f"AP mode: {mode}", summary)))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    seeds = tuple(int(s) for s in _csv(args.seeds))
+    if args.specs:
+        payload = json.loads(open(args.specs).read())
+        specs = [ScenarioSpec.from_dict(entry) for entry in payload]
+        grid = None
+    else:
+        traces = _csv(args.traces)
+        for name in traces:
+            if name not in TRACE_CHOICES:
+                raise SystemExit(f"unknown trace {name!r}; "
+                                 f"expected one of {TRACE_CHOICES}")
+        schemes = _csv(args.schemes)
+        for name in schemes:
+            if name not in SCHEMES_BY_NAME:
+                raise SystemExit(
+                    f"unknown scheme {name!r}; expected one of "
+                    f"{sorted(SCHEMES_BY_NAME)}")
+        grid = [(trace, scheme) for trace in traces for scheme in schemes]
+        specs = []
+        for trace, scheme in grid:
+            specs.extend(scheme_specs(trace, SCHEMES_BY_NAME[scheme],
+                                      args.duration, seeds))
+
+    progress = None if args.quiet else ProgressPrinter()
+    result = run_campaign(specs, jobs=args.jobs,
+                          cache=_resolve_cache_args(args),
+                          timeout=args.timeout, retries=args.retries,
+                          progress=progress)
+
+    rows = []
+    if grid is not None and not result.failures():
+        summaries = [cell.summary for cell in result.cells]
+        for position, (trace, scheme) in enumerate(grid):
+            chunk = summaries[position * len(seeds):
+                              (position + 1) * len(seeds)]
+            row = row_from_summaries(trace, scheme, SCHEMES_BY_NAME[scheme],
+                                     chunk, args.duration)
+            rows.append(row)
+        print(format_table(
+            f"campaign — {len(result.cells)} cells over seeds {seeds}",
+            ("trace", "scheme", "RTT>200ms", "frame>400ms", "fps<10",
+             "bitrate"),
+            [(r.trace, r.scheme, pct(r.rtt_tail_ratio),
+              pct(r.delayed_frame_ratio), pct(r.low_fps_ratio),
+              mbps(r.mean_bitrate_bps)) for r in rows]))
+
+    for cell in result.failures():
+        print(f"FAILED cell {cell.index} [{cell.spec.label()}] "
+              f"after {cell.attempts} attempts: {cell.error}")
+    telemetry = result.progress
+    print(f"cells: {len(result.cells)} total — {telemetry.ok} computed, "
+          f"{telemetry.cached} cached, {telemetry.failed} failed, "
+          f"{telemetry.retries} retries in {result.wall_s:.1f}s "
+          f"({telemetry.cells_per_sec():.2f} cells/s)")
+
+    if args.out:
+        payload = {
+            "progress": telemetry.as_dict(),
+            "wall_s": result.wall_s,
+            "cells": [{"index": c.index, "status": c.status,
+                       "cached": c.cached, "attempts": c.attempts,
+                       "error": c.error, "spec": c.spec.as_dict()}
+                      for c in result.cells],
+            "rows": [{"trace": r.trace, "scheme": r.scheme,
+                      "rtt_tail_ratio": r.rtt_tail_ratio,
+                      "delayed_frame_ratio": r.delayed_frame_ratio,
+                      "low_fps_ratio": r.low_fps_ratio,
+                      "mean_bitrate_bps": r.mean_bitrate_bps}
+                     for r in rows],
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.out}")
+
+    if result.failures():
+        return 1
+    if args.assert_cached and telemetry.cached != len(result.cells):
+        print(f"--assert-cached: only {telemetry.cached}/"
+              f"{len(result.cells)} cells came from the cache")
+        return 1
     return 0
 
 
 def cmd_trace(args) -> int:
+    from repro.traces.synthetic import (abc_legacy_trace, ethernet_trace,
+                                        make_trace)
     if args.family == "eth":
         trace = ethernet_trace(duration=args.duration, seed=args.seed)
     elif args.family == "abc-legacy":
@@ -105,8 +202,7 @@ def cmd_trace_stats(args) -> int:
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--trace", default="W1",
-                        choices=list(TRACE_NAMES) + ["eth", "abc-legacy"])
+    parser.add_argument("--trace", default="W1", choices=TRACE_CHOICES)
     parser.add_argument("--trace-file", default=None,
                         help="JSON trace file (overrides --trace)")
     parser.add_argument("--protocol", default="rtp", choices=("rtp", "tcp"))
@@ -121,6 +217,21 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--interferers", type=int, default=0)
 
 
+def _add_campaign_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes (<=1 runs in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/"
+                             "repro-campaign)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-cell wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="extra attempts per failing cell")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Zhuge (SIGCOMM 2022) reproduction")
@@ -128,19 +239,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one scenario")
     _add_scenario_args(run_parser)
-    run_parser.add_argument("--ap", default="zhuge",
-                            choices=("none", "zhuge", "fastack", "abc"))
+    run_parser.add_argument("--ap", default="zhuge", choices=AP_MODES)
     run_parser.set_defaults(func=cmd_run)
 
     compare_parser = sub.add_parser("compare",
                                     help="run plain AP vs Zhuge AP")
     _add_scenario_args(compare_parser)
+    compare_parser.add_argument("--ap-modes", default="none,zhuge",
+                                help="comma list of AP modes to compare")
+    compare_parser.add_argument("--jobs", type=int, default=0,
+                                help="run the AP modes in parallel "
+                                     "worker processes")
     compare_parser.set_defaults(func=cmd_compare)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run a (traces x schemes x seeds) grid through the "
+             "parallel cached campaign runner")
+    campaign_parser.add_argument("--traces", default="W1",
+                                 help="comma list of trace families")
+    campaign_parser.add_argument("--schemes",
+                                 default="Gcc+FIFO,Gcc+CoDel,Gcc+Zhuge",
+                                 help="comma list of scheme names "
+                                      "(see drivers/traces_eval.py)")
+    campaign_parser.add_argument("--seeds", default="1,2",
+                                 help="comma list of seeds per cell")
+    campaign_parser.add_argument("--duration", type=float, default=30.0)
+    campaign_parser.add_argument("--specs", default=None,
+                                 help="JSON file with a list of raw "
+                                      "ScenarioSpec dicts (overrides the "
+                                      "grid flags)")
+    campaign_parser.add_argument("--out", default=None,
+                                 help="write rows + telemetry JSON here")
+    campaign_parser.add_argument("--quiet", action="store_true",
+                                 help="suppress per-cell progress lines")
+    campaign_parser.add_argument("--assert-cached", action="store_true",
+                                 help="exit non-zero unless every cell was "
+                                      "a cache hit (CI smoke check)")
+    _add_campaign_exec_args(campaign_parser)
+    campaign_parser.set_defaults(func=cmd_campaign)
 
     trace_parser = sub.add_parser("trace", help="generate a trace file")
     trace_parser.add_argument("--family", default="W1",
-                              choices=list(TRACE_NAMES) + ["eth",
-                                                           "abc-legacy"])
+                              choices=TRACE_CHOICES)
     trace_parser.add_argument("--duration", type=float, default=60.0)
     trace_parser.add_argument("--seed", type=int, default=1)
     trace_parser.add_argument("--out", required=True)

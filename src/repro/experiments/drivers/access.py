@@ -9,9 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
-from repro.metrics.stats import ccdf_points, percentile
-from repro.traces.synthetic import ethernet_trace, make_trace
+from repro.campaign import ScenarioSpec, TraceSpec, run_specs
+from repro.metrics.stats import ccdf_points, percentile, tail_fraction
 
 ACCESS_TYPES = (
     ("Ethernet", "eth"),
@@ -34,26 +33,28 @@ class AccessRow:
 
 
 def fig2_access_comparison(duration: float = 60.0,
-                           seeds: tuple[int, ...] = (1, 2)) -> list[AccessRow]:
+                           seeds: tuple[int, ...] = (1, 2),
+                           jobs: int = 0, cache=None) -> list[AccessRow]:
     """One RTP flow per access type; returns tail summaries + CCDFs."""
+    specs = [ScenarioSpec(trace=TraceSpec.for_family(family,
+                                                     duration=duration,
+                                                     seed=seed),
+                          protocol="rtp", duration=duration, seed=seed)
+             for _, family in ACCESS_TYPES
+             for seed in seeds]
+    summaries = run_specs(specs, jobs=jobs, cache=cache)
     rows = []
-    for label, family in ACCESS_TYPES:
+    for position, (label, family) in enumerate(ACCESS_TYPES):
+        chunk = summaries[position * len(seeds):(position + 1) * len(seeds)]
         rtts: list[float] = []
         delays: list[float] = []
         fps: list[float] = []
-        for seed in seeds:
-            if family == "eth":
-                trace = ethernet_trace(duration=duration, seed=seed)
-            else:
-                trace = make_trace(family, duration=duration, seed=seed)
-            config = ScenarioConfig(trace=trace, protocol="rtp",
-                                    duration=duration, seed=seed)
-            result = run_scenario(config)
-            rtts.extend(result.rtt.rtts)
-            delays.extend(result.frames.frame_delays)
-            fps.extend(result.frames.per_second_fps(
-                duration - config.warmup, start=config.warmup))
-        from repro.metrics.stats import tail_fraction
+        for summary in chunk:
+            warmup = summary.spec.warmup
+            rtts.extend(summary.rtt.rtts)
+            delays.extend(summary.frames.frame_delays)
+            fps.extend(summary.frames.per_second_fps(
+                duration - warmup, start=warmup))
         rows.append(AccessRow(
             access=label,
             median_rtt=percentile(rtts, 50),

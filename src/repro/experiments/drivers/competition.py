@@ -12,9 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
-from repro.traces.synthetic import make_trace
-from repro.traces.trace import BandwidthTrace
+from repro.campaign import ScenarioSpec, TraceSpec, run_specs
 
 # Zhuge deploys on the system-default queue discipline, which is
 # fq_codel on Linux/OpenWrt (§4.1): each flow gets its own sub-queue and
@@ -47,52 +45,61 @@ class InterferenceRow:
 
 def fig16_flow_competition(flow_counts=(0, 2, 5, 10),
                            duration: float = 40.0,
-                           seed: int = 1) -> list[CompetitionRow]:
+                           seed: int = 1, jobs: int = 0,
+                           cache=None) -> list[CompetitionRow]:
     """Competitors join at t=10 s on a steady 30 Mbps channel; measure
     degradation durations after they arrive."""
+    # 10 Mbps channel: a full 375 kB AP buffer is then 300 ms of
+    # queueing, so CUBIC competitors can actually push the RTC
+    # flow's RTT past the 200 ms threshold.
+    grid = [(count, scheme, overrides)
+            for count in flow_counts
+            for scheme, overrides in SCHEMES]
+    specs = [ScenarioSpec(trace=TraceSpec.constant(10e6, duration,
+                                                   name="steady10"),
+                          protocol="rtp", duration=duration, seed=seed,
+                          competitors=count, warmup=2.0, **overrides)
+             for count, _, overrides in grid]
     rows = []
-    for count in flow_counts:
-        # 10 Mbps channel: a full 375 kB AP buffer is then 300 ms of
-        # queueing, so CUBIC competitors can actually push the RTC
-        # flow's RTT past the 200 ms threshold.
-        trace = BandwidthTrace.constant(10e6, duration, name="steady10")
-        for scheme, overrides in SCHEMES:
-            config = ScenarioConfig(trace=trace, protocol="rtp",
-                                    duration=duration, seed=seed,
-                                    competitors=count, warmup=2.0,
-                                    **overrides)
-            result = run_scenario(config)
-            flow = result.flows[0]
-            rows.append(CompetitionRow(
-                scheme=scheme, flows=count,
-                rtt_degradation_s=flow.rtt.degradation_duration(0.200,
-                                                                start=5.0),
-                frame_delay_degradation_s=flow.frames
-                .delay_degradation_duration(0.400, start=5.0),
-                low_fps_duration_s=flow.frames.low_fps_duration(
-                    duration - 5.0, start=5.0),
-            ))
+    for (count, scheme, _), summary in zip(
+            grid, run_specs(specs, jobs=jobs, cache=cache)):
+        flow = summary.flows[0]
+        rows.append(CompetitionRow(
+            scheme=scheme, flows=count,
+            rtt_degradation_s=flow.rtt.degradation_duration(0.200,
+                                                            start=5.0),
+            frame_delay_degradation_s=flow.frames
+            .delay_degradation_duration(0.400, start=5.0),
+            low_fps_duration_s=flow.frames.low_fps_duration(
+                duration - 5.0, start=5.0),
+        ))
     return rows
 
 
 def fig17_interference(interferer_counts=(0, 5, 10, 20, 40),
                        duration: float = 40.0,
-                       seed: int = 1) -> list[InterferenceRow]:
+                       seed: int = 1, jobs: int = 0,
+                       cache=None) -> list[InterferenceRow]:
     """Continuous channel contention; report degradation frequencies."""
+    grid = [(count, scheme, overrides)
+            for count in interferer_counts
+            for scheme, overrides in SCHEMES]
+    specs = [ScenarioSpec(trace=TraceSpec.for_family("W2",
+                                                     duration=duration,
+                                                     seed=seed),
+                          protocol="rtp", duration=duration, seed=seed,
+                          interferers=count, **overrides)
+             for count, _, overrides in grid]
     rows = []
-    for count in interferer_counts:
-        trace = make_trace("W2", duration=duration, seed=seed)
-        for scheme, overrides in SCHEMES:
-            config = ScenarioConfig(trace=trace, protocol="rtp",
-                                    duration=duration, seed=seed,
-                                    interferers=count, **overrides)
-            result = run_scenario(config)
-            flow = result.flows[0]
-            rows.append(InterferenceRow(
-                scheme=scheme, interferers=count,
-                rtt_tail_ratio=flow.rtt.tail_ratio(),
-                delayed_frame_ratio=flow.frames.delayed_ratio(),
-                low_fps_ratio=flow.frames.low_fps_ratio(
-                    duration - config.warmup, start=config.warmup),
-            ))
+    for (count, scheme, _), summary in zip(
+            grid, run_specs(specs, jobs=jobs, cache=cache)):
+        flow = summary.flows[0]
+        warmup = summary.spec.warmup
+        rows.append(InterferenceRow(
+            scheme=scheme, interferers=count,
+            rtt_tail_ratio=flow.rtt.tail_ratio(),
+            delayed_frame_ratio=flow.frames.delayed_ratio(),
+            low_fps_ratio=flow.frames.low_fps_ratio(
+                duration - warmup, start=warmup),
+        ))
     return rows

@@ -14,9 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.campaign import ScenarioSpec, TraceSpec, run_specs
 from repro.metrics.stats import jain_fairness
-from repro.traces.trace import BandwidthTrace
 
 BARS = (
     ("a: none optimized", (False, False)),
@@ -36,26 +35,28 @@ class FairnessRow:
 
 
 def fig20_fairness(duration: float = 60.0, seed: int = 1,
-                   capacity_bps: float = 10e6) -> list[FairnessRow]:
+                   capacity_bps: float = 10e6, jobs: int = 0,
+                   cache=None) -> list[FairnessRow]:
+    trace = TraceSpec.constant(capacity_bps, duration, name="fair")
+    grid = [(protocol, cca, bar, mask)
+            for protocol, cca in (("rtp", "gcc"), ("tcp", "copa"))
+            for bar, mask in BARS]
+    specs = [ScenarioSpec(trace=trace, protocol=protocol, cca=cca,
+                          ap_mode="zhuge" if any(mask) else "none",
+                          duration=duration, seed=seed, rtc_flows=2,
+                          zhuge_flow_mask=mask, max_bps=capacity_bps)
+             for protocol, cca, _, mask in grid]
     rows = []
-    trace = BandwidthTrace.constant(capacity_bps, duration, name="fair")
-    for protocol, cca in (("rtp", "gcc"), ("tcp", "copa")):
-        for bar, mask in BARS:
-            ap_mode = "zhuge" if any(mask) else "none"
-            config = ScenarioConfig(trace=trace, protocol=protocol, cca=cca,
-                                    ap_mode=ap_mode, duration=duration,
-                                    seed=seed, rtc_flows=2,
-                                    zhuge_flow_mask=mask,
-                                    max_bps=capacity_bps)
-            result = run_scenario(config)
-            goodputs = tuple(flow.goodput_bps for flow in result.flows)
-            normalized = tuple(g / capacity_bps for g in goodputs)
-            gap = (abs(goodputs[0] - goodputs[1]) / max(max(goodputs), 1.0))
-            rows.append(FairnessRow(
-                protocol=protocol, bar=bar,
-                flow_goodputs_bps=goodputs,
-                normalized=normalized,
-                jain_index=jain_fairness(list(goodputs)),
-                bitrate_gap_ratio=gap,
-            ))
+    for (protocol, _, bar, _), summary in zip(
+            grid, run_specs(specs, jobs=jobs, cache=cache)):
+        goodputs = tuple(flow.goodput_bps for flow in summary.flows)
+        normalized = tuple(g / capacity_bps for g in goodputs)
+        gap = (abs(goodputs[0] - goodputs[1]) / max(max(goodputs), 1.0))
+        rows.append(FairnessRow(
+            protocol=protocol, bar=bar,
+            flow_goodputs_bps=goodputs,
+            normalized=normalized,
+            jain_index=jain_fairness(list(goodputs)),
+            bitrate_gap_ratio=gap,
+        ))
     return rows

@@ -2,15 +2,20 @@
 
 One row per (trace, scheme): tail-latency ratio, delayed-frame ratio,
 and low-frame-rate ratio, per the paper's §7.2 metrics.
+
+Every sweep is expressed as a list of :class:`ScenarioSpec` cells and
+executed through :func:`repro.campaign.run_specs`, so callers can fan a
+whole figure out over worker processes (``jobs=4``) and reuse cached
+cells (``cache=...``) — the aggregated rows are bit-identical to a
+serial in-process run for fixed seeds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
-from repro.metrics.stats import ccdf_points
-from repro.traces.synthetic import abc_legacy_trace, make_trace
+from repro.campaign import ScenarioSpec, TraceSpec, run_specs
+from repro.metrics.stats import ccdf_points, tail_fraction
 
 RTP_SCHEMES = (
     ("Gcc+FIFO", dict(protocol="rtp", cca="gcc", ap_mode="none",
@@ -28,6 +33,10 @@ TCP_SCHEMES = (
     ("Copa+Zhuge", dict(protocol="tcp", cca="copa", ap_mode="zhuge")),
 )
 
+#: name -> overrides for every scheme above (CLI campaign grids use this).
+SCHEMES_BY_NAME = {name: overrides
+                   for name, overrides in RTP_SCHEMES + TCP_SCHEMES}
+
 
 @dataclass
 class TraceRow:
@@ -44,34 +53,37 @@ class TraceRow:
     fps_samples: list[float] | None = None
 
 
-def evaluate_scheme(trace_name: str, scheme_name: str, overrides: dict,
-                    duration: float = 60.0, seeds: tuple[int, ...] = (1, 2),
-                    keep_samples: bool = False) -> TraceRow:
-    """Run one scheme over one trace family, averaged over seeds."""
+def scheme_specs(trace_name: str, overrides: dict, duration: float,
+                 seeds: tuple[int, ...]) -> list[ScenarioSpec]:
+    """One spec per seed for a (trace, scheme) row."""
+    return [ScenarioSpec(trace=TraceSpec.for_family(trace_name,
+                                                    duration=duration,
+                                                    seed=seed),
+                         duration=duration, seed=seed, **overrides)
+            for seed in seeds]
+
+
+def row_from_summaries(trace_name: str, scheme_name: str, overrides: dict,
+                       summaries, duration: float,
+                       keep_samples: bool = False) -> TraceRow:
+    """Aggregate one row from its per-seed summaries (seed order)."""
     rtts: list[float] = []
     delays: list[float] = []
     fps: list[float] = []
     bitrates: list[float] = []
-    for seed in seeds:
-        if trace_name == "ABC-legacy":
-            trace = abc_legacy_trace(duration=duration, seed=seed)
-        else:
-            trace = make_trace(trace_name, duration=duration, seed=seed)
-        config = ScenarioConfig(trace=trace, duration=duration, seed=seed,
-                                **overrides)
-        result = run_scenario(config)
-        rtts.extend(result.rtt.rtts)
-        delays.extend(result.frames.frame_delays)
-        fps.extend(result.frames.per_second_fps(
-            duration - config.warmup, start=config.warmup))
+    for summary in summaries:
+        warmup = summary.spec.warmup
+        rtts.extend(summary.rtt.rtts)
+        delays.extend(summary.frames.frame_delays)
+        fps.extend(summary.frames.per_second_fps(
+            duration - warmup, start=warmup))
         if overrides.get("protocol") == "tcp":
             # A window CCA's cwnd/srtt estimate is not a bitrate;
             # report delivered goodput instead.
-            bitrates.append(result.flows[0].goodput_bps)
+            bitrates.append(summary.flows[0].goodput_bps)
         else:
-            bitrates.append(result.flows[0].mean_bitrate_bps)
+            bitrates.append(summary.flows[0].mean_bitrate_bps)
 
-    from repro.metrics.stats import tail_fraction
     return TraceRow(
         trace=trace_name,
         scheme=scheme_name,
@@ -85,38 +97,66 @@ def evaluate_scheme(trace_name: str, scheme_name: str, overrides: dict,
     )
 
 
+def evaluate_scheme(trace_name: str, scheme_name: str, overrides: dict,
+                    duration: float = 60.0, seeds: tuple[int, ...] = (1, 2),
+                    keep_samples: bool = False, jobs: int = 0,
+                    cache=None) -> TraceRow:
+    """Run one scheme over one trace family, averaged over seeds."""
+    specs = scheme_specs(trace_name, overrides, duration, seeds)
+    summaries = run_specs(specs, jobs=jobs, cache=cache)
+    return row_from_summaries(trace_name, scheme_name, overrides,
+                              summaries, duration, keep_samples)
+
+
+def _evaluate_grid(grid, duration: float, seeds: tuple[int, ...],
+                   jobs: int, cache,
+                   keep_samples: bool = False) -> list[TraceRow]:
+    """Run every (trace, scheme) pair of ``grid`` as one campaign."""
+    specs: list[ScenarioSpec] = []
+    for trace_name, _, overrides in grid:
+        specs.extend(scheme_specs(trace_name, overrides, duration, seeds))
+    summaries = run_specs(specs, jobs=jobs, cache=cache)
+    rows = []
+    for position, (trace_name, scheme_name, overrides) in enumerate(grid):
+        chunk = summaries[position * len(seeds):(position + 1) * len(seeds)]
+        rows.append(row_from_summaries(trace_name, scheme_name, overrides,
+                                       chunk, duration, keep_samples))
+    return rows
+
+
 def fig11_rtp_traces(traces=("W1", "W2", "C1", "C2", "C3"),
                      duration: float = 60.0,
-                     seeds: tuple[int, ...] = (1, 2)) -> list[TraceRow]:
+                     seeds: tuple[int, ...] = (1, 2),
+                     jobs: int = 0, cache=None) -> list[TraceRow]:
     """Fig. 11: RTP/RTCP schemes over the five traces."""
-    rows = []
-    for trace_name in traces:
-        for scheme_name, overrides in RTP_SCHEMES:
-            rows.append(evaluate_scheme(trace_name, scheme_name, overrides,
-                                        duration, seeds))
-    return rows
+    grid = [(trace_name, scheme_name, overrides)
+            for trace_name in traces
+            for scheme_name, overrides in RTP_SCHEMES]
+    return _evaluate_grid(grid, duration, seeds, jobs, cache)
 
 
 def fig12_tcp_traces(traces=("W1", "W2", "C1", "C2", "C3"),
                      duration: float = 60.0,
-                     seeds: tuple[int, ...] = (1, 2)) -> list[TraceRow]:
+                     seeds: tuple[int, ...] = (1, 2),
+                     jobs: int = 0, cache=None) -> list[TraceRow]:
     """Fig. 12: TCP schemes over the five traces."""
-    rows = []
-    for trace_name in traces:
-        for scheme_name, overrides in TCP_SCHEMES:
-            rows.append(evaluate_scheme(trace_name, scheme_name, overrides,
-                                        duration, seeds))
-    return rows
+    grid = [(trace_name, scheme_name, overrides)
+            for trace_name in traces
+            for scheme_name, overrides in TCP_SCHEMES]
+    return _evaluate_grid(grid, duration, seeds, jobs, cache)
 
 
 def fig13_distributions(trace_name: str = "W1", duration: float = 60.0,
-                        seeds: tuple[int, ...] = (1, 2)) -> dict:
+                        seeds: tuple[int, ...] = (1, 2),
+                        jobs: int = 0, cache=None) -> dict:
     """Fig. 13: 1-CDF curves (RTT, frame delay, frame rate) per scheme."""
+    grid = [(trace_name, scheme_name, overrides)
+            for scheme_name, overrides in RTP_SCHEMES]
+    rows = _evaluate_grid(grid, duration, seeds, jobs, cache,
+                          keep_samples=True)
     curves: dict[str, dict[str, list[tuple[float, float]]]] = {}
-    for scheme_name, overrides in RTP_SCHEMES:
-        row = evaluate_scheme(trace_name, scheme_name, overrides,
-                              duration, seeds, keep_samples=True)
-        curves[scheme_name] = {
+    for row in rows:
+        curves[row.scheme] = {
             "rtt_ccdf": ccdf_points(row.rtt_samples, points=40),
             "frame_delay_ccdf": ccdf_points(row.frame_delay_samples,
                                             points=40),
@@ -126,20 +166,20 @@ def fig13_distributions(trace_name: str = "W1", duration: float = 60.0,
 
 
 def fig22_framerate(duration: float = 60.0,
-                    seeds: tuple[int, ...] = (1, 2)) -> list[TraceRow]:
+                    seeds: tuple[int, ...] = (1, 2),
+                    jobs: int = 0, cache=None) -> list[TraceRow]:
     """Fig. 22: low-frame-rate ratios over traces for RTP and TCP."""
-    rows = []
-    for trace_name in ("W1", "W2", "C1", "C2", "C3"):
-        for scheme_name, overrides in RTP_SCHEMES + TCP_SCHEMES:
-            rows.append(evaluate_scheme(trace_name, scheme_name, overrides,
-                                        duration, seeds))
-    return rows
+    grid = [(trace_name, scheme_name, overrides)
+            for trace_name in ("W1", "W2", "C1", "C2", "C3")
+            for scheme_name, overrides in RTP_SCHEMES + TCP_SCHEMES]
+    return _evaluate_grid(grid, duration, seeds, jobs, cache)
 
 
 def table3_abc_traces(duration: float = 60.0,
-                      seeds: tuple[int, ...] = (1, 2)) -> list[TraceRow]:
+                      seeds: tuple[int, ...] = (1, 2),
+                      jobs: int = 0, cache=None) -> list[TraceRow]:
     """Table 3: Copa / ABC / Copa+Zhuge on the ABC-legacy trace."""
-    schemes = [s for s in TCP_SCHEMES if s[0] in ("Copa", "ABC",
-                                                  "Copa+Zhuge")]
-    return [evaluate_scheme("ABC-legacy", name, overrides, duration, seeds)
-            for name, overrides in schemes]
+    grid = [("ABC-legacy", name, overrides)
+            for name, overrides in TCP_SCHEMES
+            if name in ("Copa", "ABC", "Copa+Zhuge")]
+    return _evaluate_grid(grid, duration, seeds, jobs, cache)

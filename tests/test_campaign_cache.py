@@ -1,0 +1,68 @@
+"""Tests for the content-addressed campaign result cache."""
+
+import json
+
+from repro.campaign.cache import (CACHE_DIR_ENV, ResultCache,
+                                  default_cache_root)
+from repro.campaign.spec import ScenarioSpec, TraceSpec
+from repro.campaign.summary import FlowSummary, ScenarioSummary
+
+
+def _spec(seed: int = 1) -> ScenarioSpec:
+    return ScenarioSpec(trace=TraceSpec.constant(1e6, 1.0),
+                        duration=1.0, seed=seed)
+
+
+def _summary(spec: ScenarioSpec) -> ScenarioSummary:
+    flow = FlowSummary(rtt_times=[1.0, 2.0], rtt_values=[0.05, 0.25],
+                       frame_times=[1.5], frame_delays=[0.1],
+                       goodput_bps=1e6, mean_bitrate_bps=1.2e6)
+    return ScenarioSummary(spec=spec, flows=[flow], events_processed=42,
+                           ap_packets=7, prediction_pairs=[(0.01, 0.02)])
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        spec = _spec()
+        assert cache.get(spec) is None
+        cache.put(spec, _summary(spec))
+        hit = cache.get(spec)
+        assert hit is not None
+        assert hit.as_dict() == _summary(spec).as_dict()
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+
+    def test_keys_are_spec_specific(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(_spec(seed=1), _summary(_spec(seed=1)))
+        assert cache.get(_spec(seed=2)) is None
+
+    def test_corrupted_entry_is_evicted(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        spec = _spec()
+        path = cache.put(spec, _summary(spec))
+        path.write_text("{ not json")
+        assert cache.get(spec) is None
+        assert cache.stats.evictions == 1
+        assert not path.exists()
+        # The cell can be re-cached afterwards.
+        cache.put(spec, _summary(spec))
+        assert cache.get(spec) is not None
+
+    def test_code_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        spec = _spec()
+        path = cache.put(spec, _summary(spec))
+        payload = json.loads(path.read_text())
+        payload["code"] = "0" * 16  # entry written by different code
+        path.write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+
+    def test_default_root_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))
+        assert default_cache_root() == tmp_path / "override"
+        monkeypatch.delenv(CACHE_DIR_ENV)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_root() == tmp_path / "xdg" / "repro-campaign"

@@ -1,0 +1,107 @@
+"""Tests for ScenarioSpec / TraceSpec: round trips, hashing, building."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import (ScenarioSpec, TraceSpec, code_fingerprint)
+from repro.traces.synthetic import make_trace
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(trace=TraceSpec.for_family("W2", duration=8.0, seed=3),
+                duration=8.0, seed=3)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestTraceSpec:
+    def test_family_builds_same_trace_as_generator(self):
+        trace = TraceSpec.for_family("W1", duration=10.0, seed=7).build()
+        direct = make_trace("W1", duration=10.0, seed=7)
+        assert trace.rates_bps == direct.rates_bps
+        assert trace.interval == direct.interval
+
+    def test_family_normalizes_abc_legacy_case(self):
+        spec = TraceSpec.for_family("ABC-legacy", duration=5.0, seed=1)
+        assert spec.family == "abc-legacy"
+        assert spec.build().name == "abc-legacy"
+
+    def test_eth_family(self):
+        assert TraceSpec.for_family("eth", duration=5.0,
+                                    seed=1).build().name == "eth"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSpec.for_family("W9", duration=5.0, seed=1)
+
+    def test_constant(self):
+        trace = TraceSpec.constant(5e6, 2.0, name="flat").build()
+        assert set(trace.rates_bps) == {5e6}
+        assert trace.name == "flat"
+
+    def test_constant_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            TraceSpec.constant(0.0, 2.0)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "t.json"
+        make_trace("W2", duration=5.0, seed=2).save(path)
+        loaded = TraceSpec.from_file(path).build()
+        assert loaded.rates_bps == make_trace("W2", duration=5.0,
+                                              seed=2).rates_bps
+
+    def test_dict_roundtrip(self):
+        spec = TraceSpec.for_family("C1", duration=12.0, seed=4)
+        again = TraceSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        assert again == spec
+
+
+class TestScenarioSpec:
+    def test_dict_roundtrip_through_json(self):
+        spec = _spec(ap_mode="zhuge", zhuge_flow_mask=(True, False),
+                     rtc_flows=2)
+        again = ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.as_dict())))
+        assert again == spec
+        assert isinstance(again.zhuge_flow_mask, tuple)
+
+    def test_to_config_mirrors_fields(self):
+        spec = _spec(protocol="tcp", cca="copa", ap_mode="fastack",
+                     competitors=2, warmup=1.5)
+        config = spec.to_config()
+        assert config.protocol == "tcp"
+        assert config.cca == "copa"
+        assert config.ap_mode == "fastack"
+        assert config.competitors == 2
+        assert config.warmup == 1.5
+        assert config.trace.rates_bps == spec.trace.build().rates_bps
+
+    def test_hash_is_stable(self):
+        assert _spec().content_hash() == _spec().content_hash()
+
+    def test_hash_distinguishes_fields(self):
+        base = _spec()
+        assert base.content_hash() != _spec(seed=4).content_hash()
+        assert base.content_hash() != _spec(ap_mode="zhuge").content_hash()
+        assert (base.content_hash()
+                != _spec(trace=TraceSpec.for_family(
+                    "W1", duration=8.0, seed=3)).content_hash())
+
+    def test_hash_covers_trace_file_contents(self, tmp_path):
+        path = tmp_path / "t.json"
+        make_trace("W2", duration=5.0, seed=2).save(path)
+        before = _spec(trace=TraceSpec.from_file(path)).content_hash()
+        make_trace("W2", duration=5.0, seed=9).save(path)
+        after = _spec(trace=TraceSpec.from_file(path)).content_hash()
+        assert before != after
+
+    def test_code_fingerprint_cached_and_short(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+    def test_label_mentions_trace_and_seed(self):
+        label = _spec(ap_mode="zhuge").label()
+        assert "W2" in label
+        assert "seed=3" in label
+        assert "ap=zhuge" in label

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -57,3 +59,46 @@ class TestCommands:
                           "--trace", "W2", "--duration", "10",
                           "--ap", "none"])
         assert exit_code == 0
+
+    def test_compare_with_jobs_and_modes(self, capsys):
+        exit_code = main(["compare", "--trace", "W2", "--duration", "10",
+                          "--ap-modes", "none,fastack,zhuge",
+                          "--jobs", "2"])
+        assert exit_code == 0
+        assert capsys.readouterr().out.count("AP mode") == 3
+
+
+class TestCampaign:
+    ARGS = ["campaign", "--traces", "W2",
+            "--schemes", "Gcc+FIFO,Gcc+Zhuge",
+            "--seeds", "1", "--duration", "6", "--quiet"]
+
+    def _argv(self, tmp_path, *extra):
+        return self.ARGS + ["--cache-dir", str(tmp_path / "cache"),
+                            *extra]
+
+    def test_cold_then_warm_cache(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "campaign — 2 cells" in out
+        assert "2 computed, 0 cached" in out
+        # Second invocation must be served entirely from the cache.
+        assert main(self._argv(tmp_path, "--assert-cached")) == 0
+        assert "0 computed, 2 cached" in capsys.readouterr().out
+
+    def test_assert_cached_fails_on_cold_cache(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path, "--assert-cached")) == 1
+        assert "--assert-cached" in capsys.readouterr().out
+
+    def test_out_json(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main(self._argv(tmp_path, "--out", str(report))) == 0
+        payload = json.loads(report.read_text())
+        assert payload["progress"]["done"] == 2
+        assert len(payload["cells"]) == 2
+        assert {row["scheme"] for row in payload["rows"]} \
+            == {"Gcc+FIFO", "Gcc+Zhuge"}
+
+    def test_rejects_unknown_scheme(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self._argv(tmp_path)[:4] + ["--schemes", "Nope+FIFO"])
