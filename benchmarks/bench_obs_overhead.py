@@ -1,0 +1,37 @@
+"""Disabled-tracing overhead guard (the ``repro.obs`` <2% contract).
+
+The instrumented datapath with ``trace = None`` must cost at most
+``OVERHEAD_CEILING`` (1.02x) of a probe-free copy of the same code,
+measured over paired interleaved rounds (see
+``repro.experiments.drivers.obs_overhead`` for why paired-in-process
+is the only measurement that survives this container's +-15% run-to-run
+jitter). The numbers join the ``BENCH_hotpath.json`` trajectory.
+"""
+
+from pathlib import Path
+
+from repro.experiments.drivers.format import format_table
+from repro.experiments.drivers.hotpath import write_results
+from repro.experiments.drivers.obs_overhead import (OVERHEAD_CEILING,
+                                                    run_overhead_bench)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+
+def test_obs_disabled_overhead(once):
+    result = once(run_overhead_bench)
+    write_results(RESULTS_PATH, {"obs_overhead": result})
+
+    print()
+    print(format_table(
+        "Tracing disabled — instrumented vs probe-free datapath",
+        ("packets", "rounds", "instrumented", "probe-free", "overhead"),
+        [(result["packets"], result["repeats"],
+          f"{result['instrumented_disabled_best_s'] * 1e3:.1f} ms",
+          f"{result['probe_free_best_s'] * 1e3:.1f} ms",
+          f"{(result['overhead_ratio'] - 1) * 100:+.2f}%")]))
+
+    assert result["overhead_ratio"] < OVERHEAD_CEILING, (
+        f"disabled-tracing overhead {result['overhead_ratio']:.4f}x "
+        f"exceeds the {OVERHEAD_CEILING}x ceiling")
+    assert RESULTS_PATH.exists()

@@ -70,6 +70,9 @@ class CellResult:
     attempts: int = 0
     cached: bool = False
     wall_s: float = 0.0
+    #: Flight-recorder tail from the last failed attempt, when the cell
+    #: was traced (see :meth:`repro.obs.session.TraceSession.dump_on_error`).
+    flight_dump: Optional[str] = None
 
 
 @dataclass
@@ -166,7 +169,8 @@ def _cell_payload(worker: Optional[Callable], spec: ScenarioSpec,
         return {"ok": False, "kind": "timeout", "error": str(exc)}
     except Exception as exc:
         return {"ok": False, "kind": "exception",
-                "error": f"{type(exc).__name__}: {exc}"}
+                "error": f"{type(exc).__name__}: {exc}",
+                "flight_dump": getattr(exc, "flight_dump", None)}
     return {"ok": True, "summary": summary.as_dict()}
 
 
@@ -271,6 +275,9 @@ def _apply_payload(cell: CellResult, payload: dict, store,
             store.put(cell.spec, summary)
         finish_ok(cell, summary, cached=False)
         return False
+    dump = payload.get("flight_dump")
+    if dump is not None:
+        cell.flight_dump = dump
     return record_failure(cell, payload["error"])
 
 

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.experiments.scenario import ScenarioConfig
+from repro.obs.session import TraceConfig
 from repro.traces.synthetic import (TRACE_NAMES, abc_legacy_trace,
                                     ethernet_trace, make_trace)
 from repro.traces.trace import BandwidthTrace
@@ -191,6 +192,10 @@ class ScenarioSpec:
     rtc_flows: int = 1
     zhuge_flow_mask: Optional[tuple[bool, ...]] = None
     warmup: float = 5.0
+    #: Event tracing (repro.obs). Part of the spec, therefore part of
+    #: the content hash: a traced cell never aliases an untraced one in
+    #: the result cache.
+    trace_config: Optional[TraceConfig] = None
 
     def __post_init__(self) -> None:
         if self.zhuge_flow_mask is not None:
@@ -216,6 +221,8 @@ class ScenarioSpec:
                    if f.name != "trace"}
         if payload["zhuge_flow_mask"] is not None:
             payload["zhuge_flow_mask"] = list(payload["zhuge_flow_mask"])
+        if payload["trace_config"] is not None:
+            payload["trace_config"] = self.trace_config.as_dict()
         payload["trace"] = self.trace.as_dict()
         return payload
 
@@ -226,6 +233,9 @@ class ScenarioSpec:
         mask = payload.get("zhuge_flow_mask")
         if mask is not None:
             payload["zhuge_flow_mask"] = tuple(mask)
+        trace_config = payload.get("trace_config")
+        if trace_config is not None:
+            payload["trace_config"] = TraceConfig.from_dict(trace_config)
         return cls(**payload)
 
     def content_hash(self) -> str:

@@ -15,9 +15,30 @@ from dataclasses import dataclass
 class WindowCca(abc.ABC):
     """Window-based congestion control driven by the TCP transport."""
 
+    #: Tracing probe; ``None`` keeps the hot path untouched. Probes are
+    #: installed by :meth:`enable_trace` as method wrappers, so a CCA
+    #: that never enables tracing pays nothing at all.
+    trace = None
+    _trace_track = "cca"
+
     def __init__(self, mss: int = 1448):
         self.mss = mss
         self.cwnd = 10 * mss  # bytes
+
+    def enable_trace(self, bus, track: str) -> None:
+        """Emit a ``cca.cwnd`` event whenever a notification moves cwnd.
+
+        Wraps the instance's notification entry points instead of
+        guarding every ``self.cwnd = ...`` assignment in every subclass:
+        the window only changes inside these calls, and the wrapper
+        exists only on traced instances.
+        """
+        self.trace = bus
+        self._trace_track = track
+        bus.cca_cwnd(track, self.cwnd)
+        for name in ("on_ack", "on_loss", "on_rto", "on_explicit_feedback"):
+            _wrap_traced(self, name, lambda: self.cwnd,
+                         lambda value: bus.cca_cwnd(self._trace_track, value))
 
     @abc.abstractmethod
     def on_ack(self, now: float, rtt: float, acked_bytes: int) -> None:
@@ -56,6 +77,9 @@ class FeedbackPacketReport:
 class RateCca(abc.ABC):
     """Rate-based congestion control driven by the RTP sender."""
 
+    trace = None
+    _trace_track = "cca"
+
     def __init__(self, initial_bps: float = 1e6,
                  min_bps: float = 150e3, max_bps: float = 50e6):
         if initial_bps <= 0:
@@ -69,5 +93,28 @@ class RateCca(abc.ABC):
                     reports: list[FeedbackPacketReport]) -> None:
         """A feedback packet (e.g. TWCC) arrived with per-packet reports."""
 
+    def enable_trace(self, bus, track: str) -> None:
+        """Emit a ``cca.rate`` event whenever feedback moves the target."""
+        self.trace = bus
+        self._trace_track = track
+        bus.cca_rate(track, self.target_bps)
+        _wrap_traced(self, "on_feedback", lambda: self.target_bps,
+                     lambda value: bus.cca_rate(self._trace_track, value))
+
     def _clamp(self) -> None:
         self.target_bps = min(self.max_bps, max(self.min_bps, self.target_bps))
+
+
+def _wrap_traced(cca, method_name: str, read_state, emit) -> None:
+    """Replace a bound method with a change-detecting traced wrapper."""
+    inner = getattr(cca, method_name)
+
+    def traced(*args, **kwargs):
+        before = read_state()
+        result = inner(*args, **kwargs)
+        after = read_state()
+        if after != before:
+            emit(after)
+        return result
+
+    setattr(cca, method_name, traced)

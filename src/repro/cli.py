@@ -7,18 +7,27 @@ Usage::
     python -m repro campaign --traces W1,W2 --schemes Gcc+FIFO,Gcc+Zhuge \
         --seeds 1,2 --duration 30 --jobs 4
     python -m repro trace --family W2 --duration 60 --out w2.json
+    python -m repro trace W2 --duration 20 --out events.json --events queue,ap
     python -m repro trace-stats w2.json
+
+The ``trace`` subcommand is dual-mode: with a positional scenario it
+runs a short traced simulation and writes a Perfetto-openable event
+trace (see ``repro.obs``); with ``--family`` alone it keeps its
+original job of generating bandwidth-trace files.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
+from pathlib import Path
 
 from repro.campaign import (ProgressPrinter, ResultCache, ScenarioSpec,
                             TraceSpec, run_campaign, run_specs,
                             summary_lines)
+from repro.obs.session import FORMATS, TraceConfig
 from repro.experiments.drivers.format import format_table, mbps, pct
 from repro.experiments.drivers.traces_eval import (SCHEMES_BY_NAME,
                                                    row_from_summaries,
@@ -38,7 +47,18 @@ def _trace_spec(args) -> TraceSpec:
                                 seed=args.seed)
 
 
-def _spec_from_args(args, ap_mode: str) -> ScenarioSpec:
+def _trace_config_from_args(args, out: str | None = None) -> TraceConfig | None:
+    out = out or getattr(args, "trace_out", None)
+    if not out:
+        return None
+    events = TraceConfig.parse_events(getattr(args, "trace_events", "")
+                                      or "")
+    return TraceConfig(events=events, out=out,
+                       fmt=getattr(args, "trace_format", "chrome"))
+
+
+def _spec_from_args(args, ap_mode: str,
+                    trace_out: str | None = None) -> ScenarioSpec:
     return ScenarioSpec(
         trace=_trace_spec(args),
         protocol=args.protocol,
@@ -50,6 +70,7 @@ def _spec_from_args(args, ap_mode: str) -> ScenarioSpec:
         max_bps=args.max_mbps * 1e6,
         competitors=args.competitors,
         interferers=args.interferers,
+        trace_config=_trace_config_from_args(args, out=trace_out),
     )
 
 
@@ -72,7 +93,14 @@ def cmd_run(args) -> int:
     print("\n".join(summary_lines(
         f"{args.protocol}/{args.cca} over {args.trace}, AP={args.ap}",
         summary)))
+    if args.trace_out:
+        print(f"wrote event trace {args.trace_out}")
     return 0
+
+
+def _suffixed(path: str, tag: str) -> str:
+    p = Path(path)
+    return str(p.with_name(f"{p.stem}-{tag}{p.suffix}"))
 
 
 def cmd_compare(args) -> int:
@@ -81,10 +109,17 @@ def cmd_compare(args) -> int:
         if mode not in AP_MODES:
             raise SystemExit(f"unknown AP mode {mode!r}; "
                              f"expected one of {AP_MODES}")
-    specs = [_spec_from_args(args, mode) for mode in modes]
+    # One artifact per mode: `--trace-out t.json` -> t-none.json, ...
+    outs = [(_suffixed(args.trace_out, mode) if args.trace_out else None)
+            for mode in modes]
+    specs = [_spec_from_args(args, mode, trace_out=out)
+             for mode, out in zip(modes, outs)]
     summaries = run_specs(specs, jobs=args.jobs)
     for mode, summary in zip(modes, summaries):
         print("\n".join(summary_lines(f"AP mode: {mode}", summary)))
+    for out in outs:
+        if out:
+            print(f"wrote event trace {out}")
     return 0
 
 
@@ -112,6 +147,17 @@ def cmd_campaign(args) -> int:
             specs.extend(scheme_specs(trace, SCHEMES_BY_NAME[scheme],
                                       args.duration, seeds))
 
+    if args.trace_dir:
+        # Per-cell event-trace artifacts. The trace config is part of
+        # each spec (and its content hash), so traced cells never alias
+        # untraced ones in the result cache.
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        specs = [dataclasses.replace(
+                     spec, trace_config=TraceConfig(
+                         out=str(trace_dir / f"cell-{index:03d}-trace.json")))
+                 for index, spec in enumerate(specs)]
+
     progress = None if args.quiet else ProgressPrinter()
     result = run_campaign(specs, jobs=args.jobs,
                           cache=_resolve_cache_args(args),
@@ -138,6 +184,8 @@ def cmd_campaign(args) -> int:
     for cell in result.failures():
         print(f"FAILED cell {cell.index} [{cell.spec.label()}] "
               f"after {cell.attempts} attempts: {cell.error}")
+        if cell.flight_dump:
+            print(cell.flight_dump)
     telemetry = result.progress
     print(f"cells: {len(result.cells)} total — {telemetry.ok} computed, "
           f"{telemetry.cached} cached, {telemetry.failed} failed, "
@@ -173,6 +221,8 @@ def cmd_campaign(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    if args.scenario:
+        return _cmd_trace_events(args)
     from repro.traces.synthetic import (abc_legacy_trace, ethernet_trace,
                                         make_trace)
     if args.family == "eth":
@@ -185,6 +235,37 @@ def cmd_trace(args) -> int:
     trace.save(args.out)
     print(f"wrote {args.out}: {len(trace)} samples, "
           f"mean {trace.mean_bps / 1e6:.1f} Mbps")
+    return 0
+
+
+def _cmd_trace_events(args) -> int:
+    """Run one traced scenario and write an event-trace artifact."""
+    from collections import Counter
+
+    from repro.experiments.scenario import ScenarioConfig, run_scenario
+    if args.scenario not in TRACE_CHOICES:
+        raise SystemExit(f"unknown scenario {args.scenario!r}; "
+                         f"expected one of {TRACE_CHOICES}")
+    trace_spec = TraceSpec.for_family(args.scenario,
+                                      duration=args.duration + 5,
+                                      seed=args.seed)
+    trace_config = TraceConfig(
+        events=TraceConfig.parse_events(args.events),
+        out=args.out, fmt=args.format)
+    config = ScenarioConfig(trace=trace_spec.build(),
+                            protocol=args.protocol, cca=args.cca,
+                            ap_mode=args.ap, duration=args.duration,
+                            seed=args.seed, trace_config=trace_config)
+    result = run_scenario(config)
+    session = result.trace_session
+
+    counts = Counter(event.category for event in session.events)
+    summary = ", ".join(f"{category}={count}"
+                        for category, count in sorted(counts.items()))
+    print(f"wrote {args.out} ({args.format}): "
+          f"{len(session.events)} events ({summary or 'none'})")
+    if session.auditor is not None:
+        print("\n".join(session.auditor.report().format_lines()))
     return 0
 
 
@@ -215,6 +296,15 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-mbps", type=float, default=4.0)
     parser.add_argument("--competitors", type=int, default=0)
     parser.add_argument("--interferers", type=int, default=0)
+    # Event tracing (repro.obs). Named --trace-out/--trace-events
+    # because --trace already selects the bandwidth-trace family.
+    parser.add_argument("--trace-out", default=None,
+                        help="write an event trace of the run here "
+                             "(Chrome trace_event JSON, Perfetto-openable)")
+    parser.add_argument("--trace-events", default="queue,link,ap,cca",
+                        help="comma list of event categories to trace")
+    parser.add_argument("--trace-format", default="chrome",
+                        choices=FORMATS)
 
 
 def _add_campaign_exec_args(parser: argparse.ArgumentParser) -> None:
@@ -276,15 +366,34 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--assert-cached", action="store_true",
                                  help="exit non-zero unless every cell was "
                                       "a cache hit (CI smoke check)")
+    campaign_parser.add_argument("--trace-dir", default=None,
+                                 help="write one event-trace artifact per "
+                                      "cell into this directory")
     _add_campaign_exec_args(campaign_parser)
     campaign_parser.set_defaults(func=cmd_campaign)
 
-    trace_parser = sub.add_parser("trace", help="generate a trace file")
+    trace_parser = sub.add_parser(
+        "trace",
+        help="record an event trace of a scenario (with a positional "
+             "scenario) or generate a bandwidth-trace file (--family)")
+    trace_parser.add_argument("scenario", nargs="?", default=None,
+                              help="trace family to simulate with event "
+                                   "tracing enabled (e.g. W2); omit for "
+                                   "bandwidth-trace-file mode")
     trace_parser.add_argument("--family", default="W1",
                               choices=TRACE_CHOICES)
     trace_parser.add_argument("--duration", type=float, default=60.0)
     trace_parser.add_argument("--seed", type=int, default=1)
     trace_parser.add_argument("--out", required=True)
+    trace_parser.add_argument("--events", default="queue,link,ap,cca",
+                              help="comma list of event categories "
+                                   "(event-trace mode)")
+    trace_parser.add_argument("--format", default="chrome",
+                              choices=FORMATS)
+    trace_parser.add_argument("--protocol", default="rtp",
+                              choices=("rtp", "tcp", "quic"))
+    trace_parser.add_argument("--cca", default="gcc")
+    trace_parser.add_argument("--ap", default="zhuge", choices=AP_MODES)
     trace_parser.set_defaults(func=cmd_trace)
 
     stats_parser = sub.add_parser("trace-stats",

@@ -85,12 +85,23 @@ class OutOfBandFeedbackUpdater:
         self.pending_deltas_expired = 0
         self.acks_delayed = 0
         self.total_injected_delay = 0.0
+        #: Tracing probe (:class:`repro.obs.bus.TraceBus`); ``None`` =
+        #: disabled. Both datapath entry points read it exactly once.
+        self.trace = None
+        self._track = "ap"
+
+    def enable_trace(self, bus, track: str = "ap") -> None:
+        self.trace = bus
+        self._track = track
 
     # -- Algorithm 1: on downlink data packets --------------------------------
 
     def on_data_packet(self, packet: Packet) -> float:
         """Predict the packet's fortune; bank the delta. Returns the delta."""
         prediction = self.fortune_teller.observe_arrival(packet)
+        tr = self.trace
+        if tr is not None:
+            tr.ap_prediction(self._track, packet, prediction)
         current = prediction.total
         if self._last_total_delay is None:
             self._last_total_delay = current
@@ -102,8 +113,15 @@ class OutOfBandFeedbackUpdater:
             if not self.distributional:
                 self._pending_deltas.append((self.sim.now, delta))
                 self._expire_pending(self.sim.now)
+            if tr is not None:
+                tr.ap_delta(self._track, delta, banked=False)
         elif self.use_tokens:
             self.token_history.append(-delta)
+            if tr is not None:
+                tr.ap_delta(self._track, delta, banked=True)
+                tr.ap_tokens(self._track, self.outstanding_tokens)
+        elif tr is not None:
+            tr.ap_delta(self._track, delta, banked=False)
         return delta
 
     def _expire_pending(self, now: float) -> None:
@@ -140,6 +158,7 @@ class OutOfBandFeedbackUpdater:
                 _, extra = self._pending_deltas.popleft()
             else:
                 extra = 0.0
+        sampled = extra
 
         # Spend banked tokens against the sampled delay.
         while self.use_tokens and self.token_history and extra > 0:
@@ -154,6 +173,10 @@ class OutOfBandFeedbackUpdater:
         extra = min(extra, self.max_extra_delay)
         release = max(arrival_time + extra, self._last_sent_time)
         self._last_sent_time = release
+        tr = self.trace
+        if tr is not None:
+            tr.ap_ack_delay(self._track, sampled, release - arrival_time,
+                            self.outstanding_tokens)
         return release - arrival_time
 
     def on_feedback_packet(self, packet: Packet,

@@ -40,6 +40,10 @@ class InBandFeedbackUpdater:
         self._dropped_seqs: set[int] = set()
         self.feedback_constructed = 0
         self.client_feedback_dropped = 0
+        #: Tracing probe (:class:`repro.obs.bus.TraceBus`); ``None`` =
+        #: disabled.
+        self.trace = None
+        self._track = "ap"
         self._timer = Timer(sim, feedback_interval, self._emit_feedback)
         # The AP sees its own queue drop packets whose fortunes were
         # already recorded; those must be reported as LOST, not as
@@ -57,8 +61,14 @@ class InBandFeedbackUpdater:
 
     # -- Step 1: fortune recording ------------------------------------------
 
+    def enable_trace(self, bus, track: str = "ap") -> None:
+        self.trace = bus
+        self._track = track
+
     def on_data_packet(self, packet: Packet) -> None:
         prediction = self.fortune_teller.observe_arrival(packet)
+        if self.trace is not None:
+            self.trace.ap_prediction(self._track, packet, prediction)
         twcc_seq = packet.headers.get("twcc_seq")
         if twcc_seq is not None:
             # Real receivers stamp monotone arrival times; clamp so
@@ -87,6 +97,9 @@ class InBandFeedbackUpdater:
                         PacketKind.RTCP_TWCC, sent_at=self.sim.now)
         packet.headers["twcc_feedback"] = feedback
         self.feedback_constructed += 1
+        if self.trace is not None:
+            self.trace.ap_feedback(self._track, len(feedback.arrivals),
+                                   feedback.base_seq)
         self.send_uplink(packet)
 
     # -- uplink interception -------------------------------------------------------

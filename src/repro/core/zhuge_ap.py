@@ -60,6 +60,10 @@ class ZhugeAP:
         self._oob: dict[FiveTuple, OutOfBandFeedbackUpdater] = {}
         self._inband: dict[FiveTuple, InBandFeedbackUpdater] = {}
         self.packets_processed = 0
+        #: Tracing bus (:class:`repro.obs.bus.TraceBus`); ``None`` =
+        #: disabled. Set via :meth:`enable_trace`, which also fans the bus
+        #: out to every registered updater (and to ones registered later).
+        self.trace = None
 
     # -- flow registration (the AP's configurable IP list) -------------------
 
@@ -85,6 +89,18 @@ class ZhugeAP:
                 feedback_interval=self.window)
             updater.send_uplink = self._uplink_out
             self._inband[flow] = updater
+        if self.trace is not None:
+            updater.enable_trace(self.trace, self._flow_track(flow))
+
+    def enable_trace(self, bus) -> None:
+        """Attach a trace bus to the AP and all registered updaters."""
+        self.trace = bus
+        for flow, updater in {**self._oob, **self._inband}.items():
+            updater.enable_trace(bus, self._flow_track(flow))
+
+    @staticmethod
+    def _flow_track(flow: FiveTuple) -> str:
+        return f"ap/{flow.src_port}->{flow.dst_port}"
 
     def _teller_for(self, flow: FiveTuple) -> FortuneTeller:
         if not self._flow_isolating:

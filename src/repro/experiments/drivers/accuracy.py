@@ -6,17 +6,21 @@ the queue has built.
 
 Fig. 19 is the accuracy study: per-packet predicted vs actual delay,
 as an error distribution per trace plus a predicted-vs-real heatmap.
+Its statistics are computed by the :mod:`repro.obs` prediction auditor
+(:class:`~repro.obs.audit.PredictionAuditor`), fed offline from the
+recorded ``(predicted, actual)`` pairs — the same numbers a live
+traced run reports.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.core.fortune_teller import FortuneTeller
 from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.net.packet import FiveTuple, Packet
 from repro.net.queue import DropTailQueue
+from repro.obs.audit import BINS, PredictionAuditor, bin_index
 from repro.sim.engine import Simulator
 from repro.traces.synthetic import make_trace
 from repro.traces.trace import BandwidthTrace
@@ -84,25 +88,21 @@ class AccuracyResult:
     error_cdf: list[tuple[float, float]]   # (abs error seconds, P<=)
     median_error: float
     p90_error: float
+    p95_error: float
+    p99_error: float
     heatmap: dict[tuple[int, int], int]    # (pred_bin, real_bin) -> count
     pairs: int
 
 
-_BINS = (0.001, 0.004, 0.016, 0.064, 0.256, 10.0)
-
-
-def _bin_index(value: float) -> int:
-    for index, edge in enumerate(_BINS):
-        if value <= edge:
-            return index
-    return len(_BINS) - 1
+#: Kept as aliases — the bin layout now lives with the auditor.
+_BINS = BINS
+_bin_index = bin_index
 
 
 def fig19_prediction_accuracy(traces=("W1", "W2", "C1", "C2"),
                               duration: float = 40.0,
                               seed: int = 1) -> list[AccuracyResult]:
     """Per-trace prediction error of the Fortune Teller under Zhuge."""
-    from repro.metrics.stats import cdf_points, percentile
     results = []
     for trace_name in traces:
         trace = make_trace(trace_name, duration=duration, seed=seed)
@@ -110,18 +110,16 @@ def fig19_prediction_accuracy(traces=("W1", "W2", "C1", "C2"),
                                 ap_mode="zhuge", duration=duration,
                                 seed=seed, record_predictions=True)
         result = run_scenario(config)
-        pairs = result.prediction_pairs
-        errors = [abs(p - a) for p, a in pairs]
-        heatmap: dict[tuple[int, int], int] = {}
-        for predicted, actual in pairs:
-            key = (_bin_index(predicted), _bin_index(actual))
-            heatmap[key] = heatmap.get(key, 0) + 1
+        report = PredictionAuditor.from_pairs(
+            result.prediction_pairs).report(cdf_resolution=30)
         results.append(AccuracyResult(
             trace=trace_name,
-            error_cdf=cdf_points(errors, points=30),
-            median_error=percentile(errors, 50) if errors else math.nan,
-            p90_error=percentile(errors, 90) if errors else math.nan,
-            heatmap=heatmap,
-            pairs=len(pairs),
+            error_cdf=report.error_cdf,
+            median_error=report.p50,
+            p90_error=report.p90,
+            p95_error=report.p95,
+            p99_error=report.p99,
+            heatmap=report.heatmap,
+            pairs=report.pairs,
         ))
     return results

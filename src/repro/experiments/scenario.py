@@ -30,6 +30,7 @@ from repro.metrics.recorder import FrameRecorder, RttRecorder
 from repro.net.link import WiredLink
 from repro.net.packet import FiveTuple, Packet, PacketKind
 from repro.net.queue import DropTailQueue
+from repro.obs.session import TraceConfig, TraceSession
 from repro.sim.engine import Simulator
 from repro.sim.random import DeterministicRandom
 from repro.traces.trace import BandwidthTrace
@@ -70,6 +71,7 @@ class ScenarioConfig:
     rtc_flows: int = 1             # fairness experiments use 2
     zhuge_flow_mask: Optional[tuple[bool, ...]] = None  # which RTC flows get Zhuge
     warmup: float = 5.0            # metrics ignore the first seconds
+    trace_config: Optional[TraceConfig] = None  # event tracing (repro.obs)
 
 
 @dataclass
@@ -100,6 +102,10 @@ class ScenarioResult:
     prediction_pairs: list[tuple[float, float]] = field(default_factory=list)
     events_processed: int = 0
     ap_packets: int = 0
+    #: Live tracing state when ``config.trace_config`` was set. Holds
+    #: the collected events and the prediction auditor; never serialized
+    #: into campaign summaries.
+    trace_session: Optional[TraceSession] = None
 
     @property
     def rtt(self) -> RttRecorder:
@@ -130,6 +136,9 @@ class _ScenarioBuilder:
         self._build_ap()
         self._build_rtc_flows()
         self._build_competitors()
+        self.trace_session: Optional[TraceSession] = None
+        if config.trace_config is not None:
+            self._attach_tracing(config.trace_config)
 
     # -- topology ------------------------------------------------------------
 
@@ -373,11 +382,35 @@ class _ScenarioBuilder:
                 app = BulkSenderApp(self.sim, sender)
             self.bulk_apps.append((sender, receiver, app))
 
+    # -- tracing (repro.obs) -----------------------------------------------------
+
+    def _attach_tracing(self, trace_config: TraceConfig) -> None:
+        """Attach probes to every instrumented component of the topology."""
+        session = TraceSession(self.sim, trace_config)
+        bus = session.bus
+        self.downlink_queue.trace = bus
+        self.uplink_queue.trace = bus
+        self.downlink_wireless.trace = bus
+        self.uplink_wireless.trace = bus
+        if self.zhuge is not None:
+            self.zhuge.enable_trace(bus)
+        for sender, _receiver, _app in self.video_apps:
+            cca = getattr(sender, "cca", None)
+            if cca is not None and hasattr(cca, "enable_trace"):
+                cca.enable_trace(
+                    bus, f"cca/{sender.flow.src_port}->{sender.flow.dst_port}")
+        self.trace_session = session
+
     # -- run -------------------------------------------------------------------------
 
     def run(self) -> ScenarioResult:
         config = self.config
-        self.sim.run(until=config.duration)
+        try:
+            self.sim.run(until=config.duration)
+        except Exception as exc:
+            if self.trace_session is not None:
+                self.trace_session.dump_on_error(exc)
+            raise
 
         flows = []
         for sender, receiver, app in self.video_apps:
@@ -406,10 +439,14 @@ class _ScenarioBuilder:
         for _, receiver, app in self.video_apps:
             app.stop()
 
+        if self.trace_session is not None:
+            self.trace_session.export()
+
         return ScenarioResult(config=config, flows=flows,
                               prediction_pairs=pairs,
                               events_processed=self.sim.events_processed,
-                              ap_packets=self.ap.packets_processed)
+                              ap_packets=self.ap.packets_processed,
+                              trace_session=self.trace_session)
 
 
 class _BulkFlowAdapter:

@@ -11,6 +11,7 @@ compute the paper's metrics:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.metrics.stats import tail_fraction
@@ -79,27 +80,49 @@ class FrameRecorder:
 
     def per_second_fps(self, duration: float,
                        start: float = 0.0) -> list[float]:
-        """Frames decoded in each 1 s bucket of [start, start+duration)."""
+        """Frame *rate* in each 1 s bucket of [start, start+duration).
+
+        A non-integer duration gets a final partial bucket whose count is
+        normalized by its width, so a 0.5 s tail with 12 frames reports
+        24 fps rather than an artificial low-fps second (and frames in
+        the tail are counted at all — they used to be silently dropped).
+        Integer durations are bit-identical to the raw per-second counts.
+        """
         if duration <= 0:
             raise ValueError(f"duration must be positive: {duration}")
-        buckets = [0] * max(1, int(duration))
+        n = max(1, math.ceil(duration))
+        buckets = [0] * n
         for t in self.frame_times:
-            index = int(t - start)
-            if 0 <= index < len(buckets):
-                buckets[index] += 1
-        return [float(b) for b in buckets]
+            offset = t - start
+            if 0 <= offset < duration:
+                buckets[min(int(offset), n - 1)] += 1
+        fps = [float(b) for b in buckets]
+        partial = duration - (n - 1)
+        if partial < 1.0:
+            fps[-1] = buckets[-1] / partial
+        return fps
 
     def low_fps_ratio(self, duration: float, start: float = 0.0,
                       threshold: float = LOW_FPS_THRESHOLD) -> float:
-        """Fraction of seconds with fewer than ``threshold`` frames."""
+        """Fraction of seconds with a frame rate below ``threshold``."""
         fps = self.per_second_fps(duration, start)
         return tail_fraction(fps, threshold, above=False)
 
     def low_fps_duration(self, duration: float, start: float = 0.0,
                          threshold: float = LOW_FPS_THRESHOLD) -> float:
-        """Seconds during which the per-second frame rate was below threshold."""
+        """Seconds during which the per-second frame rate was below threshold.
+
+        The final bucket of a non-integer duration only spans its partial
+        width, so it contributes that width (not a full second).
+        """
         fps = self.per_second_fps(duration, start)
-        return float(sum(1 for f in fps if f < threshold))
+        partial = duration - (len(fps) - 1)
+        total = 0.0
+        for i, f in enumerate(fps):
+            if f < threshold:
+                total += partial if (i == len(fps) - 1
+                                     and partial < 1.0) else 1.0
+        return total
 
 
 @dataclass

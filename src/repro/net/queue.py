@@ -62,6 +62,9 @@ class DropTailQueue:
         self.on_arrival: list[ArrivalCallback] = []
         self.on_departure: list[DepartureCallback] = []
         self.on_drop: list[DropCallback] = []
+        #: Tracing probe (:class:`repro.obs.bus.TraceBus`); ``None`` =
+        #: disabled, and every probe site is a single attribute check.
+        self.trace = None
 
     # -- state inspection -------------------------------------------------
 
@@ -102,6 +105,8 @@ class DropTailQueue:
         self._bytes += packet.size
         self.stats.enqueued += 1
         self.stats.bytes_enqueued += packet.size
+        if self.trace is not None:
+            self.trace.queue_enqueue(self, packet)
         for callback in self.on_arrival:
             callback(packet, self)
         return True
@@ -125,10 +130,14 @@ class DropTailQueue:
         packet.dequeued_at = now
         self.stats.dequeued += 1
         self.stats.bytes_dequeued += packet.size
+        if self.trace is not None:
+            self.trace.queue_dequeue(self, packet)
         return packet
 
     def _drop(self, packet: Packet, reason: str) -> None:
         self.stats.record_drop(packet, reason)
+        if self.trace is not None:
+            self.trace.queue_drop(self, packet, reason)
         for callback in self.on_drop:
             callback(packet, reason)
 

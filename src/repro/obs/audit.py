@@ -1,0 +1,129 @@
+"""Fortune-Teller prediction auditor.
+
+Joins each ``ap.predict`` event (the Fortune Teller's ``totalDelay``
+for a packet arriving at the AP) against the packet's ``link.deliver``
+event (the wireless hop handing it to the client) and accumulates
+``(predicted, actual)`` pairs, where ``actual`` is the measured
+AP-to-client delay. The resulting :class:`AuditReport` carries the
+per-packet absolute-error CDF, quantiles (p50/p90/p95/p99), and the
+predicted-vs-real heatmap of the paper's Fig. 19 accuracy study.
+
+Two ways in:
+
+* **live** — subscribe the auditor to a :class:`~repro.obs.bus.TraceBus`
+  (it is a plain event callback); requires the ``ap`` and ``link``
+  categories to be enabled;
+* **offline** — :meth:`PredictionAuditor.from_pairs` over pairs
+  recorded elsewhere (e.g. ``FortuneTeller.accuracy_pairs``), which is
+  how :mod:`repro.experiments.drivers.accuracy` computes its summary
+  statistics.
+
+Both paths produce bit-identical reports for identical pairs: the
+live join uses the same timestamps the Fortune Teller's bookkeeping
+uses (AP arrival time and wireless delivery time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.metrics.stats import cdf_points, percentile
+from repro.obs.events import TraceEvent
+
+#: Log-spaced delay bin edges (seconds) of the Fig. 19 heatmap.
+BINS = (0.001, 0.004, 0.016, 0.064, 0.256, 10.0)
+
+
+def bin_index(value: float, bins=BINS) -> int:
+    """Index of the first bin edge >= ``value`` (last bin catches all)."""
+    for index, edge in enumerate(bins):
+        if value <= edge:
+            return index
+    return len(bins) - 1
+
+
+@dataclass
+class AuditReport:
+    """Prediction-error summary over all joined packets."""
+
+    pairs: int
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    mean_abs_error: float
+    error_cdf: list[tuple[float, float]] = field(default_factory=list)
+    heatmap: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def quantiles_ms(self) -> dict[str, float]:
+        """p50/p95/p99 in milliseconds (NaN-safe), for reports and CLI."""
+        return {name: value * 1000
+                for name, value in (("p50", self.p50), ("p95", self.p95),
+                                    ("p99", self.p99))}
+
+    def format_lines(self) -> list[str]:
+        if not self.pairs:
+            return ["prediction auditor: no (predicted, actual) pairs joined"]
+        q = self.quantiles_ms()
+        return [f"prediction auditor: {self.pairs} packets audited",
+                f"  abs error p50 / p95 / p99: {q['p50']:.2f} / "
+                f"{q['p95']:.2f} / {q['p99']:.2f} ms",
+                f"  mean abs error:            "
+                f"{self.mean_abs_error * 1000:.2f} ms"]
+
+
+class PredictionAuditor:
+    """Accumulates (predicted, actual) delay pairs and summarizes them."""
+
+    def __init__(self):
+        #: pkt_id -> (prediction time, predicted total delay)
+        self._open: dict[int, tuple[float, float]] = {}
+        self.pairs: list[tuple[float, float]] = []
+        self.unmatched_predictions = 0
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "PredictionAuditor":
+        auditor = cls()
+        auditor.pairs = [(float(p), float(a)) for p, a in pairs]
+        return auditor
+
+    # -- live event join -----------------------------------------------------
+
+    def __call__(self, event: TraceEvent) -> None:
+        """TraceBus subscriber: join predictions against deliveries."""
+        if event.category == "ap" and event.name == "predict":
+            self._open[event.args["pkt_id"]] = (event.time,
+                                                event.args["total"])
+        elif event.category == "link" and event.name == "deliver":
+            opened = self._open.pop(event.args["pkt_id"], None)
+            if opened is not None:
+                predicted_at, predicted = opened
+                self.pairs.append((predicted, event.time - predicted_at))
+        elif event.category == "queue" and event.name == "drop":
+            # Dropped packets never deliver; forget their predictions so
+            # the join table stays bounded over long runs.
+            if self._open.pop(event.args["pkt_id"], None) is not None:
+                self.unmatched_predictions += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self, cdf_resolution: int = 30) -> AuditReport:
+        """Summarize all joined pairs (NaN quantiles when empty)."""
+        errors = [abs(p - a) for p, a in self.pairs]
+        heatmap: dict[tuple[int, int], int] = {}
+        for predicted, actual in self.pairs:
+            key = (bin_index(predicted), bin_index(actual))
+            heatmap[key] = heatmap.get(key, 0) + 1
+        if errors:
+            quantiles = {q: percentile(errors, q) for q in (50, 90, 95, 99)}
+            mean = sum(errors) / len(errors)
+        else:
+            quantiles = {q: math.nan for q in (50, 90, 95, 99)}
+            mean = math.nan
+        return AuditReport(pairs=len(self.pairs),
+                           p50=quantiles[50], p90=quantiles[90],
+                           p95=quantiles[95], p99=quantiles[99],
+                           mean_abs_error=mean,
+                           error_cdf=cdf_points(errors, points=cdf_resolution),
+                           heatmap=heatmap)

@@ -1,0 +1,141 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` format.
+
+The Chrome format (the JSON Object Format of the Trace Event
+specification) opens directly in Perfetto (ui.perfetto.dev) and
+``chrome://tracing``. Mapping:
+
+* every distinct event ``track`` becomes one thread (pid 1, its own
+  tid) named by a ``thread_name`` metadata event — one timeline row per
+  node/queue/flow;
+* gauge-like events (queue depth, cwnd, target rate, token bank) become
+  counter tracks (``"ph": "C"``), so Perfetto draws them as steps;
+* AMPDU bursts (``link.txop``) become complete events (``"ph": "X"``)
+  whose duration is the airtime — bursts are visible as slices;
+* everything else is an instant event (``"ph": "i"``).
+
+Timestamps are microseconds of virtual simulation time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.events import TraceEvent, severity_name
+
+#: (category, name) pairs exported as counter tracks; values give the
+#: args keys plotted (each key becomes one series of the counter).
+_COUNTERS = {
+    ("queue", "enqueue"): ("depth_pkts", "depth_bytes"),
+    ("queue", "dequeue"): ("depth_pkts", "depth_bytes"),
+    ("link", "rate"): ("value",),
+    ("ap", "tokens"): ("value",),
+    ("cca", "cwnd"): ("value",),
+    ("cca", "rate"): ("value",),
+}
+
+#: (category, name) pairs exported as complete ("X") events, mapped to
+#: the args key holding the duration in seconds.
+_DURATIONS = {("link", "txop"): "airtime_s"}
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """Flat JSONL record for one event."""
+    return {"t": event.time, "cat": event.category, "name": event.name,
+            "track": event.track, "sev": severity_name(event.severity),
+            **event.args}
+
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """One compact JSON object per line."""
+    return "\n".join(json.dumps(event_to_dict(e), sort_keys=True)
+                     for e in events)
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = events_to_jsonl(events)
+    path.write_text(text + "\n" if text else "")
+    return path
+
+
+def chrome_trace(events: Sequence[TraceEvent],
+                 process_name: str = "repro-sim") -> dict:
+    """Convert events to the Chrome trace_event JSON object format."""
+    tids: dict[str, int] = {}
+    trace_events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0, "ts": 0,
+        "args": {"name": process_name},
+    }]
+
+    def tid_for(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                "ts": 0, "args": {"name": track},
+            })
+        return tid
+
+    for event in events:
+        tid = tid_for(event.track)
+        ts = event.time * 1e6
+        key = (event.category, event.name)
+        name = f"{event.category}.{event.name}"
+        counter_keys = _COUNTERS.get(key)
+        if counter_keys is not None:
+            trace_events.append({
+                "name": f"{event.track}:{counter_keys_label(key)}",
+                "ph": "C", "pid": 1, "tid": tid, "ts": ts,
+                "cat": event.category,
+                "args": {k: event.args[k] for k in counter_keys
+                         if k in event.args},
+            })
+            if key[0] == "queue":
+                # Depth counters ride along the enqueue/dequeue instants;
+                # still emit the instant so per-packet flow is visible.
+                trace_events.append(_instant(event, name, tid, ts))
+            continue
+        duration_key = _DURATIONS.get(key)
+        if duration_key is not None:
+            trace_events.append({
+                "name": name, "ph": "X", "pid": 1, "tid": tid, "ts": ts,
+                "dur": max(event.args.get(duration_key, 0.0), 0.0) * 1e6,
+                "cat": event.category, "args": _jsonable(event.args),
+            })
+            continue
+        trace_events.append(_instant(event, name, tid, ts))
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs",
+                          "tracks": list(tids)}}
+
+
+def counter_keys_label(key: tuple[str, str]) -> str:
+    """Counter-track name for a (category, name) pair."""
+    if key[0] == "queue":
+        return "depth"
+    return f"{key[0]}.{key[1]}"
+
+
+def _instant(event: TraceEvent, name: str, tid: int, ts: float) -> dict:
+    return {"name": name, "ph": "i", "pid": 1, "tid": tid, "ts": ts,
+            "s": "t", "cat": event.category, "args": _jsonable(event.args)}
+
+
+def _jsonable(args: dict) -> dict:
+    return {k: (v if isinstance(v, (int, float, str, bool)) or v is None
+                else str(v))
+            for k, v in args.items()}
+
+
+def write_chrome_trace(events: Sequence[TraceEvent], path: str | Path,
+                       process_name: str = "repro-sim") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(events, process_name=process_name), handle)
+    return path

@@ -1,0 +1,56 @@
+"""Bounded ring-buffer flight recorder.
+
+Subscribes to a :class:`~repro.obs.bus.TraceBus` and keeps the last N
+events at or above a severity threshold. Cheap enough to leave on for
+every traced run; when a scenario dies the
+:class:`~repro.obs.session.TraceSession` dumps the tail so the failure
+report carries the events leading up to the crash (the ``dump_on_error``
+hook).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.obs.events import DEBUG, TraceEvent
+
+
+class FlightRecorder:
+    """Keeps the most recent ``capacity`` events (a deque ring buffer)."""
+
+    def __init__(self, capacity: int = 4096, min_severity: int = DEBUG):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.min_severity = min_severity
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self.seen = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        """Subscriber entry point."""
+        if event.severity >= self.min_severity:
+            self._ring.append(event)
+            self.seen += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self, last: Optional[int] = None) -> list[TraceEvent]:
+        """The retained tail, oldest first (optionally only the last N)."""
+        items = list(self._ring)
+        if last is not None:
+            items = items[-last:]
+        return items
+
+    def dump_lines(self, last: Optional[int] = None) -> list[str]:
+        """Formatted tail for error reports and logs."""
+        items = self.events(last)
+        dropped = self.seen - len(self._ring)
+        header = (f"flight recorder: last {len(items)} of {self.seen} events"
+                  + (f" ({dropped} older events evicted)" if dropped else ""))
+        return [header] + [event.format_line() for event in items]
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.seen = 0

@@ -1,0 +1,126 @@
+"""Trace configuration and per-run trace sessions.
+
+:class:`TraceConfig` is the pure-data description of what to trace —
+safe to embed in a :class:`~repro.campaign.spec.ScenarioSpec` (it is
+JSON-serializable and participates in the spec content hash, so a
+traced cell never aliases an untraced one in the result cache).
+
+:class:`TraceSession` is the runtime side: it owns the
+:class:`~repro.obs.bus.TraceBus`, the flight recorder, the optional
+in-memory event collection, and the prediction auditor, and knows how
+to export the collected events and to dump the flight-recorder tail
+into a dying exception (the ``dump_on_error`` hook).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.audit import PredictionAuditor
+from repro.obs.bus import TraceBus
+from repro.obs.events import CATEGORIES, TraceEvent
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.flight import FlightRecorder
+
+FORMATS = ("chrome", "jsonl")
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """What to trace and where the artifact goes.
+
+    ``events`` selects probe categories (see
+    :data:`repro.obs.events.CATEGORIES`); the auditor needs ``ap`` and
+    ``link`` enabled to join predictions against deliveries.
+    """
+
+    events: tuple[str, ...] = ("queue", "link", "ap", "cca")
+    ring_size: int = 4096       # flight-recorder depth
+    collect: bool = True        # keep the full event list in memory
+    audit: bool = True          # run the prediction auditor
+    out: Optional[str] = None   # write the trace artifact here after a run
+    fmt: str = "chrome"         # "chrome" | "jsonl"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events",
+                           tuple(str(e) for e in self.events))
+        unknown = [e for e in self.events if e not in CATEGORIES]
+        if unknown:
+            raise ValueError(f"unknown trace categories {unknown}; "
+                             f"expected a subset of {CATEGORIES}")
+        if self.fmt not in FORMATS:
+            raise ValueError(f"unknown trace format {self.fmt!r}; "
+                             f"expected one of {FORMATS}")
+        if self.ring_size <= 0:
+            raise ValueError(f"ring_size must be positive: {self.ring_size}")
+
+    @classmethod
+    def parse_events(cls, text: str) -> tuple[str, ...]:
+        """Parse a ``--events queue,ap,cca`` style CSV list."""
+        items = tuple(part.strip() for part in text.split(",")
+                      if part.strip())
+        return items or tuple(CATEGORIES)
+
+    def as_dict(self) -> dict:
+        payload = asdict(self)
+        payload["events"] = list(self.events)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceConfig":
+        payload = dict(payload)
+        payload["events"] = tuple(payload.get("events", CATEGORIES))
+        return cls(**payload)
+
+
+class TraceSession:
+    """Live tracing state for one simulation run."""
+
+    def __init__(self, sim, config: TraceConfig):
+        self.config = config
+        self.bus = TraceBus(sim, categories=frozenset(config.events))
+        sim.trace = self.bus
+        self.flight = FlightRecorder(capacity=config.ring_size)
+        self.bus.subscribe(self.flight)
+        self.events: list[TraceEvent] = []
+        if config.collect:
+            self.bus.subscribe(self.events.append)
+        self.auditor: Optional[PredictionAuditor] = None
+        if config.audit:
+            self.auditor = PredictionAuditor()
+            self.bus.subscribe(self.auditor)
+
+    # -- artifacts -----------------------------------------------------------
+
+    def export(self, out: Optional[str] = None,
+               fmt: Optional[str] = None) -> Optional[Path]:
+        """Write the collected events; returns the path (None if no out)."""
+        out = out if out is not None else self.config.out
+        if not out:
+            return None
+        fmt = fmt or self.config.fmt
+        if fmt == "jsonl":
+            return write_jsonl(self.events, out)
+        return write_chrome_trace(self.events, out)
+
+    # -- failure handling ----------------------------------------------------
+
+    def dump_on_error(self, exc: BaseException,
+                      stream=None, last: int = 50) -> str:
+        """Attach the flight-recorder tail to ``exc`` (and print it).
+
+        The dump lands on ``exc.flight_dump`` so upstream handlers (the
+        campaign runner's failure payloads, the CLI) can surface the
+        last events before the crash without re-running anything.
+        """
+        text = "\n".join(self.flight.dump_lines(last=last))
+        try:
+            exc.flight_dump = text
+        except AttributeError:  # exceptions with __slots__
+            pass
+        print(f"--- trace dump after {type(exc).__name__}: {exc} ---\n"
+              f"{text}", file=stream or sys.stderr)
+        return text

@@ -25,23 +25,36 @@ class Event:
     flagged and skipped when popped.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None]):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call more than once."""
+        """Prevent the event from firing.
+
+        Safe to call more than once, and safe (a no-op) on an event
+        that already fired — a stale handle kept after the callback ran
+        must not make the event look retroactively cancelled.
+        """
+        if self.fired:
+            return
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
-    def __repr__(self) -> str:  # pragma: no cover - debug helper
-        state = "cancelled" if self.cancelled else "pending"
+    def __repr__(self) -> str:
+        if self.cancelled:
+            state = "cancelled"
+        elif self.fired:
+            state = "fired"
+        else:
+            state = "pending"
         return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
 
 
@@ -61,6 +74,9 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        #: Tracing hook (:class:`repro.obs.bus.TraceBus`); ``None`` means
+        #: tracing is disabled and every probe site short-circuits.
+        self.trace = None
 
     @property
     def now(self) -> float:
@@ -117,6 +133,7 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self._now = event.time
+                event.fired = True
                 event.callback()
                 processed += 1
                 self._events_processed += 1
@@ -124,6 +141,31 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+
+    # -- tracing (repro.obs) -------------------------------------------------
+
+    def subscribe(self, callback, categories=None):
+        """Subscribe ``callback(event)`` to this simulator's trace bus.
+
+        Lazily creates the bus (enabling tracing) on first use. When a
+        bus already exists, ``categories`` must be ``None`` — the filter
+        belongs to the existing bus.
+        """
+        from repro.obs.bus import TraceBus
+        if self.trace is None:
+            self.trace = TraceBus(self, categories=categories)
+        elif categories is not None:
+            raise SimulationError(
+                "trace bus already attached; category filters must be "
+                "chosen when the bus is created")
+        return self.trace.subscribe(callback)
+
+    def emit(self, category: str, name: str, track: str = "sim",
+             severity: int = 20, **args) -> None:
+        """Publish one trace event (no-op while tracing is disabled)."""
+        bus = self.trace
+        if bus is not None:
+            bus.emit(category, name, track, severity, **args)
 
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""

@@ -54,6 +54,11 @@ class WirelessLink:
         self._serving = False
         self.txops = 0
         self.packets_sent = 0
+        #: Tracing probe (:class:`repro.obs.bus.TraceBus`); ``None`` =
+        #: disabled. Rate-change events are deduplicated against the
+        #: last traced rate so the track stays step-shaped.
+        self.trace = None
+        self._traced_rate: Optional[float] = None
 
     def send(self, packet: Packet) -> None:
         """Accept a downlink packet (enqueue; kick the server if idle)."""
@@ -99,6 +104,12 @@ class WirelessLink:
         airtime = (ampdu_bytes * 8) / rate + self.per_txop_overhead
         self.txops += 1
         self.packets_sent += len(ampdu)
+        if self.trace is not None:
+            if rate != self._traced_rate:
+                self.trace.link_rate(self, rate)
+                self._traced_rate = rate
+            self.trace.link_txop(self, len(ampdu), ampdu_bytes, airtime,
+                                 rate)
         self.sim.schedule(airtime, lambda pkts=ampdu: self._finish(pkts))
 
     def _finish(self, ampdu: list[Packet]) -> None:
@@ -111,6 +122,8 @@ class WirelessLink:
             return
         for packet in ampdu:
             packet.received_at = self.sim.now
+            if self.trace is not None:
+                self.trace.link_delivery(self, packet)
             self.deliver(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -83,6 +83,56 @@ class TestFeedbackConstruction:
         assert sent == []
 
 
+class TestReorderedDownlink:
+    """TWCC feedback when downlink packets reach the AP out of order."""
+
+    def _deliver(self, updater, flow, seqs):
+        for seq in seqs:
+            updater.on_data_packet(Packet(flow, 1200,
+                                          headers={"twcc_seq": seq}))
+
+    def test_all_seqs_reported(self, sim, updater, flow):
+        sent = []
+        updater.send_uplink = sent.append
+        self._deliver(updater, flow, [2, 0, 1])
+        sim.run(until=0.050)
+        feedback = sent[0].headers["twcc_feedback"]
+        assert sorted(feedback.arrivals) == [0, 1, 2]
+
+    def test_predicted_arrivals_monotone_in_delivery_order(
+            self, sim, updater, flow):
+        # Seq 2 is observed first; the late seqs 0 and 1 must not be
+        # stamped before it — a real receiver's clock never runs
+        # backwards, so the clamp reports them at seq 2's time or later.
+        self._deliver(updater, flow, [2, 0, 1])
+        arrivals = updater._predicted_arrivals
+        assert arrivals[0] >= arrivals[2]
+        assert arrivals[1] >= arrivals[0]
+
+    def test_base_seq_advances_past_highest(self, sim, updater, flow):
+        sent = []
+        updater.send_uplink = sent.append
+        self._deliver(updater, flow, [5, 3, 4])
+        sim.run(until=0.050)
+        assert sent[0].headers["twcc_feedback"].base_seq == 0
+        assert updater._base_seq == 6
+
+    def test_straggler_after_feedback_still_reported(self, sim, updater,
+                                                     flow):
+        sent = []
+        updater.send_uplink = sent.append
+        self._deliver(updater, flow, [1, 2])
+        sim.run(until=0.050)
+        # Seq 0 arrives a whole feedback interval late.
+        self._deliver(updater, flow, [0])
+        sim.run(until=0.090)
+        assert len(sent) == 2
+        assert list(sent[1].headers["twcc_feedback"].arrivals) == [0]
+        late = sent[1].headers["twcc_feedback"].arrivals[0]
+        early = sent[0].headers["twcc_feedback"].arrivals[2]
+        assert late >= early  # clock still monotone across feedbacks
+
+
 class TestClientFeedbackSuppression:
     def test_client_twcc_dropped(self, sim, updater, flow):
         forwarded = []

@@ -161,6 +161,47 @@ class TestFrameRecorder:
         with pytest.raises(ValueError):
             rec.record(0.0, -1.0)
 
+    def test_fractional_duration_counts_tail_frames(self):
+        # 12 frames land in the 0.5 s tail bucket: the old code sized
+        # the bucket list with int(duration) and silently dropped them.
+        rec = FrameRecorder()
+        for t in [0.1, 0.2, 0.3]:
+            rec.record(t, 0.05)
+        for i in range(12):
+            rec.record(1.0 + i * 0.04, 0.05)
+        fps = rec.per_second_fps(duration=1.5)
+        assert fps == [3.0, 24.0]  # 12 frames / 0.5 s tail = 24 fps
+
+    def test_fractional_tail_normalized_not_low_fps(self):
+        # 6 frames in a 0.5 s tail is 12 fps — above the 10 fps bar.
+        rec = FrameRecorder()
+        for i in range(24):
+            rec.record(i / 24, 0.05)
+        for i in range(6):
+            rec.record(1.0 + i * 0.08, 0.05)
+        assert rec.low_fps_ratio(duration=1.5) == 0.0
+
+    def test_fractional_duration_low_fps_duration_weights_tail(self):
+        # Empty full second (weight 1.0) + empty 0.25 s tail (weight
+        # 0.25), after one healthy second.
+        rec = FrameRecorder()
+        for i in range(24):
+            rec.record(i / 24, 0.05)
+        assert rec.low_fps_duration(duration=2.25) == 1.25
+
+    def test_sub_second_duration(self):
+        rec = FrameRecorder()
+        for i in range(6):
+            rec.record(i * 0.05, 0.05)
+        assert rec.per_second_fps(duration=0.5) == [12.0]
+
+    def test_integer_duration_unchanged(self):
+        rec = FrameRecorder()
+        for t in [0.1, 0.2, 0.3, 1.5]:
+            rec.record(t, 0.05)
+        assert rec.per_second_fps(duration=2.0) == [3.0, 1.0]
+        assert rec.per_second_fps(duration=2) == [3.0, 1.0]
+
 
 class TestRateRecorder:
     def test_mean_rate(self):

@@ -1,0 +1,117 @@
+"""Tests for the Fortune-Teller prediction auditor."""
+
+import math
+
+import pytest
+
+from repro.obs.audit import BINS, AuditReport, PredictionAuditor, bin_index
+from repro.obs.events import INFO, WARN, TraceEvent
+
+
+def _ev(time, category, name, **args):
+    severity = WARN if name == "drop" else INFO
+    return TraceEvent(time, category, name, "t", severity, args)
+
+
+class TestLiveJoin:
+    def test_predict_then_deliver_joins_pair(self):
+        auditor = PredictionAuditor()
+        auditor(_ev(1.0, "ap", "predict", pkt_id=7, q_long=0.01,
+                    q_short=0.005, tx=0.001, total=0.016))
+        auditor(_ev(1.012, "link", "deliver", pkt_id=7, size=1200))
+        assert auditor.pairs == [(0.016, 1.012 - 1.0)]
+        assert not auditor._open
+
+    def test_delivery_without_prediction_ignored(self):
+        auditor = PredictionAuditor()
+        auditor(_ev(1.0, "link", "deliver", pkt_id=9, size=1200))
+        assert auditor.pairs == []
+
+    def test_drop_evicts_open_prediction(self):
+        auditor = PredictionAuditor()
+        auditor(_ev(1.0, "ap", "predict", pkt_id=3, total=0.02))
+        auditor(_ev(1.001, "queue", "drop", pkt_id=3, size=1200,
+                    reason="tail-overflow"))
+        auditor(_ev(1.5, "link", "deliver", pkt_id=3, size=1200))
+        assert auditor.pairs == []
+        assert auditor.unmatched_predictions == 1
+        assert not auditor._open
+
+    def test_drop_of_unknown_packet_not_counted(self):
+        auditor = PredictionAuditor()
+        auditor(_ev(1.0, "queue", "drop", pkt_id=42, size=1200,
+                    reason="tail-overflow"))
+        assert auditor.unmatched_predictions == 0
+
+    def test_live_matches_from_pairs(self):
+        live = PredictionAuditor()
+        pairs = []
+        for i in range(50):
+            t = 0.1 * i
+            predicted = 0.010 + 0.0001 * i
+            actual = 0.012 + 0.00008 * i
+            live(_ev(t, "ap", "predict", pkt_id=i, total=predicted))
+            live(_ev(t + actual, "link", "deliver", pkt_id=i, size=1200))
+            pairs.append((predicted, actual))
+        assert len(live.pairs) == len(pairs)
+        for (lp, la), (p, a) in zip(live.pairs, pairs):
+            assert lp == p
+            assert la == pytest.approx(a)
+        # Identical pairs -> bit-identical reports.
+        assert PredictionAuditor.from_pairs(live.pairs).report() == \
+            live.report()
+
+
+class TestReport:
+    def test_empty_report_is_nan(self):
+        report = PredictionAuditor().report()
+        assert report.pairs == 0
+        assert math.isnan(report.p50) and math.isnan(report.p99)
+        assert math.isnan(report.mean_abs_error)
+        assert report.error_cdf == []
+        assert report.heatmap == {}
+        assert report.format_lines() == [
+            "prediction auditor: no (predicted, actual) pairs joined"]
+
+    def test_quantiles_and_mean(self):
+        pairs = [(0.010, 0.010 + e) for e in
+                 (0.001, 0.002, 0.003, 0.004, 0.005)]
+        report = PredictionAuditor.from_pairs(pairs).report()
+        assert report.pairs == 5
+        assert report.p50 == pytest.approx(0.003)
+        assert report.mean_abs_error == pytest.approx(0.003)
+        assert report.p99 >= report.p95 >= report.p50
+
+    def test_quantiles_ms(self):
+        report = AuditReport(pairs=1, p50=0.002, p90=0.003, p95=0.004,
+                             p99=0.005, mean_abs_error=0.002)
+        assert report.quantiles_ms() == {"p50": 2.0, "p95": 4.0,
+                                         "p99": 5.0}
+
+    def test_format_lines(self):
+        report = PredictionAuditor.from_pairs([(0.010, 0.012)]).report()
+        lines = report.format_lines()
+        assert lines[0] == "prediction auditor: 1 packets audited"
+        assert "2.00" in lines[1] and "2.00" in lines[2]
+
+    def test_heatmap_uses_fig19_bins(self):
+        pairs = [(0.0005, 0.003), (0.0005, 0.003), (0.1, 99.0)]
+        report = PredictionAuditor.from_pairs(pairs).report()
+        assert report.heatmap == {(0, 1): 2, (4, 5): 1}
+
+    def test_error_cdf_resolution(self):
+        pairs = [(0.01, 0.01 + 0.0001 * i) for i in range(100)]
+        report = PredictionAuditor.from_pairs(pairs).report(
+            cdf_resolution=10)
+        assert len(report.error_cdf) == 11  # resolution steps + origin
+        xs = [x for x, _ in report.error_cdf]
+        assert xs == sorted(xs)
+
+
+class TestBins:
+    def test_bin_index_edges(self):
+        assert bin_index(0.0) == 0
+        assert bin_index(0.001) == 0
+        assert bin_index(0.0011) == 1
+        assert bin_index(10.0) == len(BINS) - 1
+        assert bin_index(999.0) == len(BINS) - 1

@@ -1,0 +1,115 @@
+"""Tests for the JSONL and Chrome trace_event exporters."""
+
+import json
+
+from repro.obs.events import INFO, WARN, TraceEvent
+from repro.obs.export import (chrome_trace, event_to_dict, events_to_jsonl,
+                              write_chrome_trace, write_jsonl)
+
+
+def _ev(time, category, name, track, severity=INFO, **args):
+    return TraceEvent(time, category, name, track, severity, args)
+
+
+SAMPLE = [
+    _ev(0.001, "queue", "enqueue", "down", pkt_id=1, size=1200,
+        depth_pkts=1, depth_bytes=1200),
+    _ev(0.002, "link", "rate", "wifi", value=86_666_667.0),
+    _ev(0.003, "link", "txop", "wifi", pkts=4, bytes=4800,
+        airtime_s=0.0005, rate_bps=86_666_667.0),
+    _ev(0.004, "queue", "drop", "down", severity=WARN, pkt_id=2,
+        size=1200, reason="tail-overflow"),
+    _ev(0.005, "link", "deliver", "wifi", pkt_id=1, size=1200),
+    _ev(0.006, "cca", "cwnd", "cca/5000->6000", value=12),
+]
+
+
+class TestJsonl:
+    def test_event_to_dict_flattens_args(self):
+        record = event_to_dict(SAMPLE[3])
+        assert record == {"t": 0.004, "cat": "queue", "name": "drop",
+                          "track": "down", "sev": "WARN", "pkt_id": 2,
+                          "size": 1200, "reason": "tail-overflow"}
+
+    def test_round_trip(self):
+        text = events_to_jsonl(SAMPLE)
+        records = [json.loads(line) for line in text.splitlines()]
+        assert len(records) == len(SAMPLE)
+        assert [r["name"] for r in records] == [
+            "enqueue", "rate", "txop", "drop", "deliver", "cwnd"]
+
+    def test_write_jsonl(self, tmp_path):
+        path = write_jsonl(SAMPLE, tmp_path / "events.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(SAMPLE)
+        assert json.loads(lines[0])["cat"] == "queue"
+
+    def test_write_empty(self, tmp_path):
+        path = write_jsonl([], tmp_path / "empty.jsonl")
+        assert path.read_text() == ""
+
+
+class TestChromeTrace:
+    def test_metadata_tracks(self):
+        doc = chrome_trace(SAMPLE, process_name="test-proc")
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert metas[0] == {"name": "process_name", "ph": "M", "pid": 1,
+                            "tid": 0, "ts": 0,
+                            "args": {"name": "test-proc"}}
+        thread_names = {e["args"]["name"]: e["tid"] for e in metas[1:]}
+        assert set(thread_names) == {"down", "wifi", "cca/5000->6000"}
+        assert sorted(thread_names.values()) == [1, 2, 3]
+        assert doc["otherData"]["tracks"] == ["down", "wifi",
+                                              "cca/5000->6000"]
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_timestamps_are_microseconds(self):
+        doc = chrome_trace(SAMPLE)
+        enqueue = next(e for e in doc["traceEvents"]
+                       if e["name"] == "down:depth")
+        assert enqueue["ts"] == 0.001 * 1e6
+
+    def test_queue_depth_becomes_counter_plus_instant(self):
+        doc = chrome_trace(SAMPLE)
+        counter = next(e for e in doc["traceEvents"]
+                       if e["ph"] == "C" and e["name"] == "down:depth")
+        assert counter["args"] == {"depth_pkts": 1, "depth_bytes": 1200}
+        instant = next(e for e in doc["traceEvents"]
+                       if e["ph"] == "i" and e["name"] == "queue.enqueue")
+        assert instant["s"] == "t"
+        assert instant["tid"] == counter["tid"]
+
+    def test_cwnd_becomes_counter(self):
+        doc = chrome_trace(SAMPLE)
+        counter = next(e for e in doc["traceEvents"]
+                       if e["name"] == "cca/5000->6000:cca.cwnd")
+        assert counter["ph"] == "C"
+        assert counter["args"] == {"value": 12}
+
+    def test_txop_becomes_complete_event_with_airtime_duration(self):
+        doc = chrome_trace(SAMPLE)
+        txop = next(e for e in doc["traceEvents"]
+                    if e["name"] == "link.txop")
+        assert txop["ph"] == "X"
+        assert txop["dur"] == 0.0005 * 1e6
+        assert txop["args"]["pkts"] == 4
+
+    def test_drop_becomes_instant(self):
+        doc = chrome_trace(SAMPLE)
+        drop = next(e for e in doc["traceEvents"]
+                    if e["name"] == "queue.drop")
+        assert drop["ph"] == "i" and drop["s"] == "t"
+        assert drop["args"]["reason"] == "tail-overflow"
+
+    def test_non_primitive_args_are_stringified(self):
+        event = _ev(0.0, "sim", "error", "sim", message=ValueError("x"))
+        doc = chrome_trace([event])
+        instant = next(e for e in doc["traceEvents"]
+                       if e["name"] == "sim.error")
+        assert instant["args"]["message"] == "x"
+        json.dumps(doc)  # must be serializable
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(SAMPLE, tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert {e["ph"] for e in doc["traceEvents"]} == {"M", "C", "i", "X"}

@@ -123,6 +123,23 @@ class TestCancellation:
         event.cancel()
         assert sim.pending() == 1
 
+    def test_cancel_after_fired_is_noop(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert event.fired
+        event.cancel()
+        assert not event.cancelled  # a fired event can't become cancelled
+
+    def test_repr_shows_lifecycle_state(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        assert "pending" in repr(event)
+        event.cancel()
+        assert "cancelled" in repr(event)
+        fired = sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert "fired" in repr(fired)
+        assert "1.0" in repr(event) or "1" in repr(event)
+
 
 class TestTimer:
     def test_timer_fires_repeatedly(self, sim):
