@@ -143,5 +143,17 @@ class FqCoDelQueue(DropTailQueue):
         self._active.clear()
         self._deficit.clear()
 
+    def drop_all(self, reason: str) -> int:
+        """Flush every sub-queue as observable drops (client roam)."""
+        dropped = 0
+        for sub in self._flows.values():
+            # Sub-queue drops propagate through _sub_drop, which fires
+            # the aggregate's stats and on_drop callbacks.
+            dropped += sub.drop_all(reason)
+        self._flows.clear()
+        self._active.clear()
+        self._deficit.clear()
+        return dropped
+
     def __len__(self) -> int:
         return self.packet_length

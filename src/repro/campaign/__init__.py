@@ -8,7 +8,8 @@ content-addressed result cache. See ``python -m repro campaign --help``
 for the CLI entry point.
 """
 
-from repro.campaign.cache import ResultCache, default_cache_root
+from repro.campaign.cache import (PruneStats, ResultCache,
+                                  default_cache_root)
 from repro.campaign.progress import CampaignProgress, ProgressPrinter
 from repro.campaign.runner import (CampaignError, CampaignResult, CellResult,
                                    CellTimeout, execute_spec, run_campaign,
@@ -25,6 +26,7 @@ __all__ = [
     "CellTimeout",
     "FlowSummary",
     "ProgressPrinter",
+    "PruneStats",
     "ResultCache",
     "ScenarioSpec",
     "ScenarioSummary",

@@ -43,6 +43,16 @@ class CacheStats:
 
 
 @dataclass
+class PruneStats:
+    """Outcome of one :meth:`ResultCache.prune` pass."""
+
+    kept: int = 0
+    kept_bytes: int = 0
+    pruned: int = 0
+    pruned_bytes: int = 0
+
+
+@dataclass
 class ResultCache:
     """Spec-hash -> summary store under ``root`` (created lazily)."""
 
@@ -79,6 +89,13 @@ class ResultCache:
                 pass
             return None
         self.stats.hits += 1
+        # Touch the entry so prune()'s recency order reflects *use*, not
+        # just creation: a hot entry written long ago outlives a cold
+        # one written yesterday.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return summary
 
     def put(self, spec: ScenarioSpec, summary: ScenarioSummary) -> Path:
@@ -104,6 +121,38 @@ class ResultCache:
             raise
         self.stats.writes += 1
         return path
+
+    def prune(self, max_bytes: int) -> PruneStats:
+        """Shrink the store to ``max_bytes``, dropping least-recently-used
+        entries first.
+
+        Recency is file mtime — refreshed by :meth:`get` on every hit —
+        so the entries that survive are the ones campaigns actually
+        replay. Entries that vanish mid-scan (a concurrent campaign
+        pruning the same root) are skipped, never an error.
+        """
+        stats = PruneStats()
+        entries: list[tuple[float, int, Path]] = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                meta = path.stat()
+            except OSError:
+                continue
+            entries.append((meta.st_mtime, meta.st_size, path))
+        # Newest first; keep while under budget, unlink the rest.
+        entries.sort(key=lambda item: item[0], reverse=True)
+        for mtime, size, path in entries:
+            if stats.kept_bytes + size <= max_bytes:
+                stats.kept += 1
+                stats.kept_bytes += size
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            stats.pruned += 1
+            stats.pruned_bytes += size
+        return stats
 
 
 def resolve_cache(cache) -> ResultCache | None:

@@ -31,6 +31,10 @@ class CampaignProgress:
     cached: int = 0        # served from the result cache
     failed: int = 0        # exhausted their retry budget
     retries: int = 0       # attempts beyond each cell's first
+    #: False when any attempt ran with the per-cell timeout silently
+    #: disabled (no SIGALRM / non-main thread) — so "no timeouts fired"
+    #: can be distinguished from "timeouts could not fire".
+    timeout_enforced: bool = True
     started_at: float = field(default_factory=time.monotonic)
 
     def elapsed_s(self) -> float:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import signal
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -112,18 +113,35 @@ class CampaignResult:
 # -- worker side ---------------------------------------------------------------
 
 
+_ALARM_WARNED = False
+
+
+def _timeout_usable(timeout: Optional[float]) -> bool:
+    """True when :func:`_alarm` can actually enforce ``timeout`` here."""
+    return (timeout is not None and timeout > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
 @contextmanager
 def _alarm(timeout: Optional[float]):
     """Raise :class:`CellTimeout` after ``timeout`` wall seconds.
 
     Uses ``SIGALRM``, which only works in a main thread on POSIX; in
-    any other context the timeout silently degrades to "no timeout"
-    rather than failing the cell.
+    any other context the timeout degrades to "no timeout" rather than
+    failing the cell — warned once per process, and reported per-attempt
+    via the ``timeout_enforced`` payload flag so campaign telemetry can
+    tell "no timeouts fired" from "timeouts could not fire".
     """
-    usable = (timeout is not None and timeout > 0
-              and hasattr(signal, "SIGALRM")
-              and threading.current_thread() is threading.main_thread())
-    if not usable:
+    global _ALARM_WARNED
+    if not _timeout_usable(timeout):
+        if (timeout is not None and timeout > 0) and not _ALARM_WARNED:
+            _ALARM_WARNED = True
+            warnings.warn(
+                "per-cell timeout requested but SIGALRM is unavailable "
+                "(non-POSIX platform or non-main thread); cells run "
+                "without a wall-clock limit", RuntimeWarning,
+                stacklevel=3)
         yield
         return
 
@@ -159,6 +177,8 @@ def _cell_payload(worker: Optional[Callable], spec: ScenarioSpec,
     ``SystemExit``) can reach the pool machinery; ordinary exceptions
     and timeouts fail just this attempt.
     """
+    enforced = (timeout is None or timeout <= 0
+                or _timeout_usable(timeout))
     try:
         if worker is not None:
             with _alarm(timeout):
@@ -166,12 +186,15 @@ def _cell_payload(worker: Optional[Callable], spec: ScenarioSpec,
         else:
             summary = execute_spec(spec, timeout=timeout)
     except CellTimeout as exc:
-        return {"ok": False, "kind": "timeout", "error": str(exc)}
+        return {"ok": False, "kind": "timeout", "error": str(exc),
+                "timeout_enforced": enforced}
     except Exception as exc:
         return {"ok": False, "kind": "exception",
                 "error": f"{type(exc).__name__}: {exc}",
-                "flight_dump": getattr(exc, "flight_dump", None)}
-    return {"ok": True, "summary": summary.as_dict()}
+                "flight_dump": getattr(exc, "flight_dump", None),
+                "timeout_enforced": enforced}
+    return {"ok": True, "summary": summary.as_dict(),
+            "timeout_enforced": enforced}
 
 
 def _pool_cell(worker: Optional[Callable], spec_payload: dict,
@@ -247,10 +270,10 @@ def run_campaign(specs: Sequence[ScenarioSpec], *,
 
     if todo and jobs >= 2:
         _run_pool(cells, todo, jobs, timeout, backoff_s, worker,
-                  store, finish_ok, record_failure)
+                  store, stats, finish_ok, record_failure)
     elif todo:
         _run_serial(cells, todo, timeout, backoff_s, worker,
-                    store, finish_ok, record_failure)
+                    store, stats, finish_ok, record_failure)
 
     return CampaignResult(cells=cells, progress=stats,
                           wall_s=time.monotonic() - started)
@@ -266,9 +289,10 @@ def run_specs(specs: Sequence[ScenarioSpec], *,
     return run_campaign(specs, jobs=jobs, **kwargs).summaries()
 
 
-def _apply_payload(cell: CellResult, payload: dict, store,
+def _apply_payload(cell: CellResult, payload: dict, store, stats,
                    finish_ok, record_failure) -> bool:
     """Fold one attempt's payload into the cell; True if requeued."""
+    stats.timeout_enforced &= payload.get("timeout_enforced", True)
     if payload["ok"]:
         summary = ScenarioSummary.from_dict(payload["summary"])
         if store is not None:
@@ -282,7 +306,7 @@ def _apply_payload(cell: CellResult, payload: dict, store,
 
 
 def _run_serial(cells, todo, timeout, backoff_s, worker,
-                store, finish_ok, record_failure) -> None:
+                store, stats, finish_ok, record_failure) -> None:
     queue = deque(todo)
     while queue:
         index = queue.popleft()
@@ -290,13 +314,14 @@ def _run_serial(cells, todo, timeout, backoff_s, worker,
         attempt_start = time.monotonic()
         payload = _cell_payload(worker, cell.spec, timeout)
         cell.wall_s += time.monotonic() - attempt_start
-        if _apply_payload(cell, payload, store, finish_ok, record_failure):
+        if _apply_payload(cell, payload, store, stats,
+                          finish_ok, record_failure):
             time.sleep(backoff_s * (2 ** (cell.attempts - 1)))
             queue.append(index)
 
 
 def _run_pool(cells, todo, jobs, timeout, backoff_s, worker,
-              store, finish_ok, record_failure) -> None:
+              store, stats, finish_ok, record_failure) -> None:
     queue = deque(todo)
     not_before: dict[int, float] = {}
     launched_at: dict[int, float] = {}
@@ -348,8 +373,8 @@ def _run_pool(cells, todo, jobs, timeout, backoff_s, worker,
                 except Exception as exc:  # pool-level (pickling, ...)
                     payload = {"ok": False, "kind": "executor",
                                "error": f"{type(exc).__name__}: {exc}"}
-                if _apply_payload(cell, payload, store, finish_ok,
-                                  record_failure):
+                if _apply_payload(cell, payload, store, stats,
+                                  finish_ok, record_failure):
                     not_before[index] = (time.monotonic()
                                          + backoff_s
                                          * (2 ** (cell.attempts - 1)))

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.experiments.scenario import ScenarioConfig
+from repro.faults.spec import FaultPlan
 from repro.obs.session import TraceConfig
 from repro.traces.synthetic import (TRACE_NAMES, abc_legacy_trace,
                                     ethernet_trace, make_trace)
@@ -196,11 +197,18 @@ class ScenarioSpec:
     #: the content hash: a traced cell never aliases an untraced one in
     #: the result cache.
     trace_config: Optional[TraceConfig] = None
+    #: Fault injection (repro.faults). Also part of the content hash: a
+    #: faulted cell never aliases a healthy one. An empty plan is
+    #: normalized to ``None`` so it hashes and behaves identically to
+    #: no plan at all.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.zhuge_flow_mask is not None:
             object.__setattr__(self, "zhuge_flow_mask",
                                tuple(bool(b) for b in self.zhuge_flow_mask))
+        if self.faults is not None and not self.faults.faults:
+            object.__setattr__(self, "faults", None)
 
     def to_config(self) -> ScenarioConfig:
         """Build the live :class:`ScenarioConfig`, materializing the trace."""
@@ -223,6 +231,12 @@ class ScenarioSpec:
             payload["zhuge_flow_mask"] = list(payload["zhuge_flow_mask"])
         if payload["trace_config"] is not None:
             payload["trace_config"] = self.trace_config.as_dict()
+        # Omitted entirely when None so payloads (and hashes) of
+        # un-faulted specs are byte-identical to pre-fault-layer ones.
+        if payload["faults"] is None:
+            del payload["faults"]
+        else:
+            payload["faults"] = self.faults.as_dict()
         payload["trace"] = self.trace.as_dict()
         return payload
 
@@ -236,6 +250,9 @@ class ScenarioSpec:
         trace_config = payload.get("trace_config")
         if trace_config is not None:
             payload["trace_config"] = TraceConfig.from_dict(trace_config)
+        faults = payload.get("faults")
+        if faults is not None:
+            payload["faults"] = FaultPlan.from_dict(faults)
         return cls(**payload)
 
     def content_hash(self) -> str:

@@ -85,6 +85,10 @@ class ScenarioSummary:
     events_processed: int = 0
     ap_packets: int = 0
     prediction_pairs: list[tuple[float, float]] = field(default_factory=list)
+    #: (time, kind, phase) executed fault phases; empty without faults.
+    fault_log: list[tuple] = field(default_factory=list)
+    #: (time, state, reason) AP watchdog transitions; empty without one.
+    watchdog_transitions: list[tuple] = field(default_factory=list)
 
     @classmethod
     def from_result(cls, result, spec: ScenarioSpec) -> "ScenarioSummary":
@@ -94,7 +98,10 @@ class ScenarioSummary:
                    events_processed=result.events_processed,
                    ap_packets=result.ap_packets,
                    prediction_pairs=[tuple(p)
-                                     for p in result.prediction_pairs])
+                                     for p in result.prediction_pairs],
+                   fault_log=[tuple(entry) for entry in result.fault_log],
+                   watchdog_transitions=[tuple(entry) for entry
+                                         in result.watchdog_transitions])
 
     # Mirror the ScenarioResult conveniences so migrated drivers read
     # summaries exactly as they read results.
@@ -110,11 +117,20 @@ class ScenarioSummary:
         return self.spec.duration - self.spec.warmup
 
     def as_dict(self) -> dict:
-        return {"spec": self.spec.as_dict(),
-                "flows": [f.as_dict() for f in self.flows],
-                "events_processed": self.events_processed,
-                "ap_packets": self.ap_packets,
-                "prediction_pairs": [list(p) for p in self.prediction_pairs]}
+        payload = {"spec": self.spec.as_dict(),
+                   "flows": [f.as_dict() for f in self.flows],
+                   "events_processed": self.events_processed,
+                   "ap_packets": self.ap_packets,
+                   "prediction_pairs": [list(p)
+                                        for p in self.prediction_pairs]}
+        # Emitted only when non-empty: un-faulted summaries stay
+        # byte-identical to pre-fault-layer ones.
+        if self.fault_log:
+            payload["fault_log"] = [list(entry) for entry in self.fault_log]
+        if self.watchdog_transitions:
+            payload["watchdog_transitions"] = [
+                list(entry) for entry in self.watchdog_transitions]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ScenarioSummary":
@@ -124,7 +140,12 @@ class ScenarioSummary:
                    events_processed=payload["events_processed"],
                    ap_packets=payload["ap_packets"],
                    prediction_pairs=[tuple(p) for p in
-                                     payload["prediction_pairs"]])
+                                     payload["prediction_pairs"]],
+                   fault_log=[tuple(entry) for entry
+                              in payload.get("fault_log", [])],
+                   watchdog_transitions=[
+                       tuple(entry) for entry
+                       in payload.get("watchdog_transitions", [])])
 
 
 def summary_lines(label: str, summary: ScenarioSummary) -> list[str]:

@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.campaign import (ProgressPrinter, ResultCache, ScenarioSpec,
                             TraceSpec, run_campaign, run_specs,
                             summary_lines)
+from repro.faults.spec import FaultPlan
 from repro.obs.session import FORMATS, TraceConfig
 from repro.experiments.drivers.format import format_table, mbps, pct
 from repro.experiments.drivers.traces_eval import (SCHEMES_BY_NAME,
@@ -57,6 +58,13 @@ def _trace_config_from_args(args, out: str | None = None) -> TraceConfig | None:
                        fmt=getattr(args, "trace_format", "chrome"))
 
 
+def _fault_plan_from_args(args) -> FaultPlan | None:
+    text = getattr(args, "faults", None)
+    if not text:
+        return None
+    return FaultPlan.parse(text, seed=getattr(args, "fault_seed", 1))
+
+
 def _spec_from_args(args, ap_mode: str,
                     trace_out: str | None = None) -> ScenarioSpec:
     return ScenarioSpec(
@@ -71,6 +79,7 @@ def _spec_from_args(args, ap_mode: str,
         competitors=args.competitors,
         interferers=args.interferers,
         trace_config=_trace_config_from_args(args, out=trace_out),
+        faults=_fault_plan_from_args(args),
     )
 
 
@@ -82,6 +91,22 @@ def _resolve_cache_args(args):
     if cache_dir:
         return ResultCache(root=cache_dir)
     return True  # default root (~/.cache/repro-campaign or $REPRO_CACHE_DIR)
+
+
+def _maybe_prune_cache(args, cache) -> None:
+    """Honor ``--cache-prune MB`` after a campaign-style run."""
+    budget_mb = getattr(args, "cache_prune", None)
+    if budget_mb is None:
+        return
+    from repro.campaign.cache import resolve_cache
+    store = resolve_cache(cache)
+    if store is None:
+        print("--cache-prune ignored: caching is disabled")
+        return
+    pruned = store.prune(int(budget_mb * 1e6))
+    print(f"cache prune: kept {pruned.kept} entries "
+          f"({pruned.kept_bytes / 1e6:.1f} MB), removed {pruned.pruned} "
+          f"({pruned.pruned_bytes / 1e6:.1f} MB)")
 
 
 def _csv(text: str) -> list[str]:
@@ -159,8 +184,8 @@ def cmd_campaign(args) -> int:
                  for index, spec in enumerate(specs)]
 
     progress = None if args.quiet else ProgressPrinter()
-    result = run_campaign(specs, jobs=args.jobs,
-                          cache=_resolve_cache_args(args),
+    cache = _resolve_cache_args(args)
+    result = run_campaign(specs, jobs=args.jobs, cache=cache,
                           timeout=args.timeout, retries=args.retries,
                           progress=progress)
 
@@ -191,6 +216,10 @@ def cmd_campaign(args) -> int:
           f"{telemetry.cached} cached, {telemetry.failed} failed, "
           f"{telemetry.retries} retries in {result.wall_s:.1f}s "
           f"({telemetry.cells_per_sec():.2f} cells/s)")
+    if not telemetry.timeout_enforced:
+        print("warning: per-cell timeout could not be enforced "
+              "(no SIGALRM on this platform/thread)")
+    _maybe_prune_cache(args, cache)
 
     if args.out:
         payload = {
@@ -217,6 +246,36 @@ def cmd_campaign(args) -> int:
         print(f"--assert-cached: only {telemetry.cached}/"
               f"{len(result.cells)} cells came from the cache")
         return 1
+    return 0
+
+
+def cmd_resilience(args) -> int:
+    from repro.experiments.drivers.resilience import fig_resilience
+    lengths = tuple(float(s) for s in _csv(args.lengths))
+    seeds = tuple(int(s) for s in _csv(args.seeds))
+    cache = _resolve_cache_args(args)
+    rows = fig_resilience(blackout_lengths=lengths,
+                          duration=args.duration, seeds=seeds,
+                          protocol=args.protocol, cca=args.cca,
+                          jobs=args.jobs, cache=cache,
+                          timeout=args.timeout, retries=args.retries)
+
+    def _at(value):
+        return f"{value:.2f}s" if value is not None else "-"
+
+    print(format_table(
+        f"resilience — blackout sweep over seeds {seeds}",
+        ("scheme", "blackout", "steady P50", "fault P50", "fault P99",
+         "demote", "promote"),
+        [(r.scheme, f"{r.blackout_s:g}s", f"{r.steady_p50_ms:.0f} ms",
+          f"{r.fault_p50_ms:.0f} ms", f"{r.fault_p99_ms:.0f} ms",
+          _at(r.demote_at), _at(r.promote_at)) for r in rows]))
+    _maybe_prune_cache(args, cache)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump([dataclasses.asdict(r) for r in rows], handle,
+                      indent=2)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -301,10 +360,20 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", default=None,
                         help="write an event trace of the run here "
                              "(Chrome trace_event JSON, Perfetto-openable)")
-    parser.add_argument("--trace-events", default="queue,link,ap,cca",
+    parser.add_argument("--trace-events", default="queue,link,ap,cca,fault",
                         help="comma list of event categories to trace")
     parser.add_argument("--trace-format", default="chrome",
                         choices=FORMATS)
+    # Fault injection (repro.faults).
+    parser.add_argument("--faults", default=None,
+                        help="fault plan DSL: comma list of "
+                             "kind@start[+duration][*magnitude][/target], "
+                             "e.g. 'blackout@10+2,reset@12' or "
+                             "'loss@5+3*0.3/up' (kinds: blackout, "
+                             "rate_crash/crash, loss_burst/loss, "
+                             "ap_reset/reset, roam)")
+    parser.add_argument("--fault-seed", type=int, default=1,
+                        help="seed for stochastic faults (loss bursts)")
 
 
 def _add_campaign_exec_args(parser: argparse.ArgumentParser) -> None:
@@ -320,6 +389,10 @@ def _add_campaign_exec_args(parser: argparse.ArgumentParser) -> None:
                         help="per-cell wall-clock budget in seconds")
     parser.add_argument("--retries", type=int, default=1,
                         help="extra attempts per failing cell")
+    parser.add_argument("--cache-prune", type=float, default=None,
+                        metavar="MB",
+                        help="after the run, shrink the result cache to "
+                             "this many megabytes (LRU by last use)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -372,6 +445,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_exec_args(campaign_parser)
     campaign_parser.set_defaults(func=cmd_campaign)
 
+    resilience_parser = sub.add_parser(
+        "resilience",
+        help="blackout sweep: Zhuge vs passthrough vs FastAck under "
+             "injected faults (repro.faults)")
+    resilience_parser.add_argument("--lengths", default="0.5,1,2",
+                                   help="comma list of blackout lengths "
+                                        "in seconds")
+    resilience_parser.add_argument("--duration", type=float, default=25.0)
+    resilience_parser.add_argument("--seeds", default="1",
+                                   help="comma list of seeds per cell")
+    resilience_parser.add_argument("--protocol", default="tcp",
+                                   choices=("rtp", "tcp"))
+    resilience_parser.add_argument("--cca", default="copa")
+    resilience_parser.add_argument("--out", default=None,
+                                   help="write rows JSON here")
+    _add_campaign_exec_args(resilience_parser)
+    resilience_parser.set_defaults(func=cmd_resilience)
+
     trace_parser = sub.add_parser(
         "trace",
         help="record an event trace of a scenario (with a positional "
@@ -385,7 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--duration", type=float, default=60.0)
     trace_parser.add_argument("--seed", type=int, default=1)
     trace_parser.add_argument("--out", required=True)
-    trace_parser.add_argument("--events", default="queue,link,ap,cca",
+    trace_parser.add_argument("--events", default="queue,link,ap,cca,fault",
                               help="comma list of event categories "
                                    "(event-trace mode)")
     trace_parser.add_argument("--format", default="chrome",

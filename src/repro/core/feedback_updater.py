@@ -26,7 +26,8 @@ from collections import deque
 from typing import Callable, Optional
 
 from repro.core.fortune_teller import FortuneTeller
-from repro.core.sliding_window import DEFAULT_WINDOW, DelayDeltaHistory
+from repro.core.sliding_window import (DEFAULT_WINDOW, DelayDeltaHistory,
+                                       TokenBank)
 from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Simulator
 from repro.sim.random import DeterministicRandom
@@ -63,7 +64,9 @@ class OutOfBandFeedbackUpdater:
                  window: float = DEFAULT_WINDOW,
                  use_tokens: bool = True,
                  distributional: bool = True,
-                 max_extra_delay: float = 0.5):
+                 max_extra_delay: float = 0.5,
+                 max_tokens: int = 65536,
+                 token_ttl: Optional[float] = None):
         self.sim = sim
         self.fortune_teller = fortune_teller
         self.window = window
@@ -72,9 +75,18 @@ class OutOfBandFeedbackUpdater:
         self.max_extra_delay = max_extra_delay
         self.delta_history = DelayDeltaHistory(
             window, rng or DeterministicRandom(0))
-        self.token_history: deque[float] = deque()
+        # Bounded token FIFO with an exact O(1) running sum. The default
+        # cap (65536) never binds in realistic traces — it is a memory
+        # backstop against pathological monotone-improving stretches.
+        self.token_history = TokenBank(clock=lambda: self.sim.now,
+                                       max_entries=max_tokens,
+                                       ttl=token_ttl)
         self._last_total_delay: Optional[float] = None
         self._last_sent_time = 0.0
+        #: Degraded-mode switch: while True the updater stops sampling
+        #: and banking entirely — ACKs are forwarded with zero extra
+        #: delay (order preservation only). Flipped by the AP watchdog.
+        self.passthrough = False
         # Non-distributional mode: (banked_at, delta) pairs. Entries age
         # out after ``window`` — when ACKs arrive slower than data
         # packets (delayed-ACK TCP: 1 ACK per 2 segments), the queue
@@ -108,6 +120,10 @@ class OutOfBandFeedbackUpdater:
             return 0.0
         delta = current - self._last_total_delay
         self._last_total_delay = current
+        if self.passthrough:
+            # Degraded: keep observing (so health can recover) but bank
+            # nothing — stale predictions must not shape future ACKs.
+            return delta
         if delta >= 0:
             self.delta_history.push(self.sim.now, delta)
             if not self.distributional:
@@ -150,6 +166,17 @@ class OutOfBandFeedbackUpdater:
         * *distributional equivalence* — the extra delay is sampled from
           the recent downlink delay-delta distribution.
         """
+        if self.passthrough:
+            # Degraded: no injected delay; only order preservation so
+            # release times stay monotone across the demote boundary.
+            release = max(arrival_time, self._last_sent_time)
+            self._last_sent_time = release
+            tr = self.trace
+            if tr is not None:
+                tr.ap_ack_delay(self._track, 0.0, release - arrival_time,
+                                self.outstanding_tokens)
+            return release - arrival_time
+        self.token_history.expire(arrival_time)
         if self.distributional:
             extra = self.delta_history.sample(arrival_time)
         else:
@@ -196,4 +223,16 @@ class OutOfBandFeedbackUpdater:
 
     @property
     def outstanding_tokens(self) -> float:
-        return sum(self.token_history)
+        return self.token_history.total
+
+    def reset_state(self) -> None:
+        """Forget the delay ledger (AP restart / client handover).
+
+        ``_last_sent_time`` is deliberately preserved: it is an output
+        ordering constraint, not estimator state — resetting it could
+        release a post-reset ACK before a pre-reset one.
+        """
+        self.delta_history.clear()
+        self.token_history.clear()
+        self._pending_deltas.clear()
+        self._last_total_delay = None

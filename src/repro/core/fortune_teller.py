@@ -174,6 +174,24 @@ class FortuneTeller:
         if record is not None:
             record.actual = self.sim.now - record.arrival_time
 
+    @property
+    def last_prediction(self) -> Optional[DelayPrediction]:
+        """The most recent prediction, or ``None`` before the first."""
+        return self._cached_prediction
+
+    def reset(self) -> None:
+        """Wipe estimator state (AP restart / client handover).
+
+        The Fig. 19 ``records`` ledger survives — it is an offline
+        accuracy log, not live estimator state.
+        """
+        self.tx_rate.reset()
+        self.tx_rate_long.reset()
+        self.dequeue_intervals.reset()
+        self.burst_tracker.reset()
+        self._cached_prediction = None
+        self._cached_at = -1.0
+
     def accuracy_pairs(self) -> list[tuple[float, float]]:
         """(predicted, actual) pairs for delivered packets (Fig. 19)."""
         return [(r.predicted, r.actual) for r in self.records.values()

@@ -40,6 +40,10 @@ class InBandFeedbackUpdater:
         self._dropped_seqs: set[int] = set()
         self.feedback_constructed = 0
         self.client_feedback_dropped = 0
+        #: Degraded-mode switch: while True the AP stops synthesizing
+        #: TWCC and lets the client's own feedback through unmodified.
+        #: Flipped by the AP watchdog.
+        self.passthrough = False
         #: Tracing probe (:class:`repro.obs.bus.TraceBus`); ``None`` =
         #: disabled.
         self.trace = None
@@ -70,7 +74,7 @@ class InBandFeedbackUpdater:
         if self.trace is not None:
             self.trace.ap_prediction(self._track, packet, prediction)
         twcc_seq = packet.headers.get("twcc_seq")
-        if twcc_seq is not None:
+        if twcc_seq is not None and not self.passthrough:
             # Real receivers stamp monotone arrival times; clamp so
             # prediction noise never reports time running backwards.
             predicted = max(self.sim.now + prediction.total,
@@ -81,6 +85,8 @@ class InBandFeedbackUpdater:
     # -- Step 2: feedback construction -----------------------------------------
 
     def _emit_feedback(self) -> None:
+        if self.passthrough:
+            return
         if not self._predicted_arrivals or self.send_uplink is None:
             return
         feedback = TwccFeedback(base_seq=self._base_seq,
@@ -107,12 +113,27 @@ class InBandFeedbackUpdater:
     def on_feedback_packet(self, packet: Packet,
                            forward: Callable[[Packet], None]) -> None:
         """Drop client TWCC (ours replaces it); forward everything else."""
+        if self.passthrough:
+            # Degraded: the client's own TWCC is the only trustworthy
+            # feedback — let it through untouched.
+            forward(packet)
+            return
         if packet.kind == PacketKind.RTCP_TWCC:
             feedback: TwccFeedback | None = packet.headers.get("twcc_feedback")
             if feedback is None or feedback.constructed_by != "zhuge-ap":
                 self.client_feedback_dropped += 1
                 return
         forward(packet)
+
+    def reset_state(self) -> None:
+        """Forget recorded fortunes (AP restart / client handover).
+
+        ``_last_predicted`` and ``_base_seq`` survive: the first keeps
+        reported arrival times monotone across the reset, the second
+        keeps the TWCC sequence frontier consistent for the sender.
+        """
+        self._predicted_arrivals.clear()
+        self._dropped_seqs.clear()
 
     def stop(self) -> None:
         self._timer.stop()

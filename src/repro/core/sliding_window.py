@@ -168,6 +168,12 @@ class SlidingWindowRate:
     def event_count(self) -> int:
         return len(self._events)
 
+    def reset(self) -> None:
+        """Forget all events (AP restart / handover); keeps ``.ops``."""
+        self._events.clear()
+        self._bytes_in_window = 0
+        self._first_event = None
+
 
 class DequeueIntervalEstimator:
     """Average interval between packet departures (the ``tx`` estimator).
@@ -221,6 +227,12 @@ class DequeueIntervalEstimator:
         if not self._intervals:
             return 0.0
         return self._sum.value() / len(self._intervals)
+
+    def reset(self) -> None:
+        """Forget all intervals (AP restart / handover); keeps ``.ops``."""
+        self._intervals.clear()
+        self._sum.reset()
+        self._last_departure = None
 
 
 class BurstSizeTracker:
@@ -292,6 +304,14 @@ class BurstSizeTracker:
         if self._max and self._max[0][1] > best:
             best = self._max[0][1]
         return best
+
+    def reset(self) -> None:
+        """Forget all bursts (AP restart / handover); keeps ``.ops``."""
+        self._bursts.clear()
+        self._max.clear()
+        self._current_start = None
+        self._current_bytes = 0
+        self._last_departure = None
 
 
 class DelayDeltaHistory:
@@ -371,3 +391,111 @@ class DelayDeltaHistory:
 
     def __len__(self) -> int:
         return len(self._times) - self._head
+
+
+class TokenBank:
+    """Bounded FIFO of delay-reduction tokens with an O(1) running sum.
+
+    Drop-in replacement for the bare deque the out-of-band updater used
+    as ``token_history`` (same append/extend/popleft/index protocol, so
+    existing call sites — including tests and the ablation driver that
+    push raw floats — keep working), plus the two things a deque cannot
+    do:
+
+    * ``total`` reads an :class:`ExactFloatSum` instead of
+      ``sum(deque)`` — O(1) per query, exact to the last bit;
+    * growth is bounded: beyond ``max_entries`` the *oldest* tokens are
+      evicted (they are the stalest claims on future ACKs), and with a
+      ``ttl`` tokens banked more than that many seconds before an
+      :meth:`expire` sweep are dropped — stale tokens banked before a
+      blackout must not cancel delay that the post-recovery queue
+      genuinely accrued.
+
+    Timestamps come from ``clock`` (the simulator's ``now``); when no
+    clock is given entries are stamped 0.0 and only the size cap
+    applies.
+    """
+
+    __slots__ = ("clock", "max_entries", "ttl", "_entries", "_sum",
+                 "capped", "expired")
+
+    def __init__(self, clock=None, max_entries: int = 65536,
+                 ttl: Optional[float] = None):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive: {ttl}")
+        self.clock = clock
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._entries: deque[tuple[float, float]] = deque()
+        self._sum = ExactFloatSum()
+        self.capped = 0    # tokens evicted by the size cap
+        self.expired = 0   # tokens evicted by the ttl
+
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def append(self, value: float) -> None:
+        if len(self._entries) >= self.max_entries:
+            _, old = self._entries.popleft()
+            self._sum.subtract(old)
+            self.capped += 1
+        self._entries.append((self._now(), value))
+        self._sum.add(value)
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.append(value)
+
+    def popleft(self) -> float:
+        _, value = self._entries.popleft()
+        self._sum.subtract(value)
+        if not self._entries:
+            self._sum.reset()
+        return value
+
+    def expire(self, now: float) -> int:
+        """Drop tokens older than ``ttl``; no-op when ttl is unset."""
+        if self.ttl is None:
+            return 0
+        horizon = now - self.ttl
+        dropped = 0
+        entries = self._entries
+        while entries and entries[0][0] < horizon:
+            _, value = entries.popleft()
+            self._sum.subtract(value)
+            dropped += 1
+        if not entries:
+            self._sum.reset()
+        self.expired += dropped
+        return dropped
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._sum.reset()
+
+    @property
+    def total(self) -> float:
+        """Exact sum of banked tokens (what ``sum(deque)`` used to be)."""
+        if not self._entries:
+            return 0.0
+        return self._sum.value()
+
+    def __getitem__(self, index: int) -> float:
+        return self._entries[index][1]
+
+    def __setitem__(self, index: int, value: float) -> None:
+        stamp, old = self._entries[index]
+        self._entries[index] = (stamp, value)
+        self._sum.subtract(old)
+        self._sum.add(value)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return (value for _, value in self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)

@@ -60,6 +60,14 @@ class ZhugeAP:
         self._oob: dict[FiveTuple, OutOfBandFeedbackUpdater] = {}
         self._inband: dict[FiveTuple, InBandFeedbackUpdater] = {}
         self.packets_processed = 0
+        #: Estimator-health watchdog (:mod:`repro.faults.watchdog`);
+        #: ``None`` until :meth:`enable_watchdog`, in which case the AP
+        #: never degrades and behaves exactly as before.
+        self.watchdog = None
+        #: True while demoted to passthrough (mirrored onto updaters).
+        self.passthrough = False
+        #: Number of :meth:`reset_state` calls (restart/handover events).
+        self.resets = 0
         #: Tracing bus (:class:`repro.obs.bus.TraceBus`); ``None`` =
         #: disabled. Set via :meth:`enable_trace`, which also fans the bus
         #: out to every registered updater (and to ones registered later).
@@ -91,12 +99,69 @@ class ZhugeAP:
             self._inband[flow] = updater
         if self.trace is not None:
             updater.enable_trace(self.trace, self._flow_track(flow))
+        # A flow registered while the AP is degraded starts degraded too.
+        updater.passthrough = self.passthrough
 
     def enable_trace(self, bus) -> None:
         """Attach a trace bus to the AP and all registered updaters."""
         self.trace = bus
         for flow, updater in {**self._oob, **self._inband}.items():
             updater.enable_trace(bus, self._flow_track(flow))
+        if self.watchdog is not None:
+            self.watchdog.enable_trace(bus)
+
+    # -- graceful degradation (repro.faults) ---------------------------------
+
+    def enable_watchdog(self, config=None) -> None:
+        """Attach an estimator-health watchdog that can demote the AP.
+
+        Lazy import: ``repro.core`` stays importable without the fault
+        layer, and un-watchdogged APs pay nothing.
+        """
+        from repro.faults.watchdog import EstimatorHealthWatchdog
+        self.watchdog = EstimatorHealthWatchdog(
+            self.sim, config,
+            on_demote=self._on_watchdog_demote,
+            on_promote=self._on_watchdog_promote)
+        if self.trace is not None:
+            self.watchdog.enable_trace(self.trace)
+
+    def _on_watchdog_demote(self, reason: str) -> None:
+        """Fall back to passthrough: forward everything undelayed."""
+        self.passthrough = True
+        for updater in self._oob.values():
+            updater.passthrough = True
+            updater.reset_state()
+        for updater in self._inband.values():
+            updater.passthrough = True
+            updater.reset_state()
+
+    def _on_watchdog_promote(self, reason: str) -> None:
+        """Re-engage Zhuge once predictions track reality again."""
+        self.passthrough = False
+        for updater in self._oob.values():
+            updater.passthrough = False
+        for updater in self._inband.values():
+            updater.passthrough = False
+
+    def reset_state(self) -> None:
+        """Simulate an AP restart / client handover: wipe learned state.
+
+        Estimator windows, token banks, and delta ledgers are forgotten;
+        output-ordering clamps survive (release times stay monotone).
+        The watchdog, if attached, demotes immediately — post-reset
+        predictions are garbage until the windows refill.
+        """
+        self.resets += 1
+        self.fortune_teller.reset()
+        for teller in self._flow_tellers.values():
+            teller.reset()
+        for updater in self._oob.values():
+            updater.reset_state()
+        for updater in self._inband.values():
+            updater.reset_state()
+        if self.watchdog is not None:
+            self.watchdog.notify_reset()
 
     @staticmethod
     def _flow_track(flow: FiveTuple) -> str:
@@ -130,10 +195,16 @@ class ZhugeAP:
         """A packet arrived from the WAN heading to the wireless client."""
         self.packets_processed += 1
         flow = packet.flow
-        if flow in self._oob:
-            self._oob[flow].on_data_packet(packet)
-        elif flow in self._inband:
-            self._inband[flow].on_data_packet(packet)
+        updater = self._oob.get(flow)
+        if updater is None:
+            updater = self._inband.get(flow)
+        if updater is not None:
+            updater.on_data_packet(packet)
+            if self.watchdog is not None:
+                prediction = updater.fortune_teller.last_prediction
+                if prediction is not None:
+                    self.watchdog.note_prediction(packet.pkt_id,
+                                                  prediction.total)
         if self.forward_downlink is not None:
             self.forward_downlink(packet)
 
@@ -151,6 +222,8 @@ class ZhugeAP:
 
     def on_wireless_delivery(self, packet: Packet) -> None:
         """The wireless hop delivered a packet (accuracy bookkeeping)."""
+        if self.watchdog is not None:
+            self.watchdog.note_delivery(packet.pkt_id)
         if self.record_predictions:
             self.fortune_teller.observe_delivery(packet)
             teller = self._flow_tellers.get(packet.flow)
@@ -173,3 +246,5 @@ class ZhugeAP:
     def stop(self) -> None:
         for updater in self._inband.values():
             updater.stop()
+        if self.watchdog is not None:
+            self.watchdog.stop()

@@ -76,6 +76,8 @@ class ProbeFreeUpdater(OutOfBandFeedbackUpdater):
             return 0.0
         delta = current - self._last_total_delay
         self._last_total_delay = current
+        if self.passthrough:
+            return delta
         if delta >= 0:
             self.delta_history.push(self.sim.now, delta)
             if not self.distributional:
@@ -86,6 +88,11 @@ class ProbeFreeUpdater(OutOfBandFeedbackUpdater):
         return delta
 
     def ack_delay(self, arrival_time):
+        if self.passthrough:
+            release = max(arrival_time, self._last_sent_time)
+            self._last_sent_time = release
+            return release - arrival_time
+        self.token_history.expire(arrival_time)
         if self.distributional:
             extra = self.delta_history.sample(arrival_time)
         else:

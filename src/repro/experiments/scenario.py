@@ -26,6 +26,7 @@ from repro.cca import make_rate_cca, make_window_cca
 from repro.cca.abc import AbcRouter
 from repro.core.feedback_updater import FeedbackKind
 from repro.core.zhuge_ap import ZhugeAP
+from repro.faults.spec import FaultPlan
 from repro.metrics.recorder import FrameRecorder, RttRecorder
 from repro.net.link import WiredLink
 from repro.net.packet import FiveTuple, Packet, PacketKind
@@ -72,6 +73,7 @@ class ScenarioConfig:
     zhuge_flow_mask: Optional[tuple[bool, ...]] = None  # which RTC flows get Zhuge
     warmup: float = 5.0            # metrics ignore the first seconds
     trace_config: Optional[TraceConfig] = None  # event tracing (repro.obs)
+    faults: Optional[FaultPlan] = None  # fault injection (repro.faults)
 
 
 @dataclass
@@ -106,6 +108,10 @@ class ScenarioResult:
     #: the collected events and the prediction auditor; never serialized
     #: into campaign summaries.
     trace_session: Optional[TraceSession] = None
+    #: (time, kind, phase) of every executed fault phase, in order.
+    fault_log: list = field(default_factory=list)
+    #: (time, state, reason) of every AP watchdog transition, in order.
+    watchdog_transitions: list = field(default_factory=list)
 
     @property
     def rtt(self) -> RttRecorder:
@@ -139,6 +145,9 @@ class _ScenarioBuilder:
         self.trace_session: Optional[TraceSession] = None
         if config.trace_config is not None:
             self._attach_tracing(config.trace_config)
+        self.fault_injector = None
+        if config.faults is not None and config.faults.faults:
+            self._attach_faults(config.faults)
 
     # -- topology ------------------------------------------------------------
 
@@ -169,7 +178,7 @@ class _ScenarioBuilder:
         # Uplink wireless: scaled copy of the channel; carries small
         # feedback packets, so it adds latency (segment iii of Fig. 1)
         # but rarely queues.
-        uplink_channel = WirelessChannel(
+        self.uplink_channel = uplink_channel = WirelessChannel(
             config.trace.scaled(config.uplink_scale), mcs=mcs)
         uplink_interference = None
         if config.interferers > 0:
@@ -401,6 +410,24 @@ class _ScenarioBuilder:
                     bus, f"cca/{sender.flow.src_port}->{sender.flow.dst_port}")
         self.trace_session = session
 
+    # -- fault injection (repro.faults) ------------------------------------------
+
+    def _attach_faults(self, plan: FaultPlan) -> None:
+        """Arm the plan's faults against the built topology."""
+        from repro.faults.injector import FaultInjector
+        if self.zhuge is not None and plan.watchdog_enabled:
+            self.zhuge.enable_watchdog(plan.watchdog)
+        self.fault_injector = FaultInjector(
+            self.sim, plan,
+            downlink=self.downlink_wireless,
+            uplink=self.uplink_wireless,
+            down_channel=self.channel,
+            up_channel=self.uplink_channel,
+            downlink_queue=self.downlink_queue,
+            uplink_queue=self.uplink_queue,
+            zhuge=self.zhuge,
+            trace=self.trace_session.bus if self.trace_session else None)
+
     # -- run -------------------------------------------------------------------------
 
     def run(self) -> ScenarioResult:
@@ -442,11 +469,20 @@ class _ScenarioBuilder:
         if self.trace_session is not None:
             self.trace_session.export()
 
+        fault_log = []
+        if self.fault_injector is not None:
+            fault_log = list(self.fault_injector.log)
+        watchdog_transitions = []
+        if self.zhuge is not None and self.zhuge.watchdog is not None:
+            watchdog_transitions = list(self.zhuge.watchdog.transitions)
+
         return ScenarioResult(config=config, flows=flows,
                               prediction_pairs=pairs,
                               events_processed=self.sim.events_processed,
                               ap_packets=self.ap.packets_processed,
-                              trace_session=self.trace_session)
+                              trace_session=self.trace_session,
+                              fault_log=fault_log,
+                              watchdog_transitions=watchdog_transitions)
 
 
 class _BulkFlowAdapter:

@@ -1,0 +1,159 @@
+"""Schedules a :class:`FaultPlan` onto a live scenario.
+
+The injector is pure orchestration: it owns no link or AP state, it
+only flips the fault hooks the datapath components already expose
+(``link.block()/unblock()``, ``link.fault_drop``,
+``channel.fault_scale``, ``queue.drop_all()``, ``zhuge.reset_state()``)
+at the plan's scheduled times. All stochastic behaviour (loss-burst
+coin flips) draws from per-fault forked streams of the plan seed, so
+the same plan produces the same drop pattern regardless of how many
+other faults run, and regardless of process (serial, pool, cache
+replay).
+
+Overlap semantics are last-writer-wins per (kind, target): the *end* of
+whichever window fires last restores the healthy value. Plans that need
+stacked same-kind faults should use disjoint windows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.spec import FaultPlan, FaultSpec
+from repro.sim.engine import Simulator
+from repro.sim.random import DeterministicRandom
+
+
+class FaultInjector:
+    """Arms every fault in ``plan`` against the scenario's components.
+
+    Any handle may be ``None`` (e.g. a cellular downlink scenario still
+    has a Wi-Fi uplink; a passthrough scenario has no ``zhuge``); faults
+    targeting a missing component are recorded in the log as skipped
+    phases but otherwise ignored.
+    """
+
+    def __init__(self, sim: Simulator, plan: FaultPlan, *,
+                 downlink=None, uplink=None,
+                 down_channel=None, up_channel=None,
+                 downlink_queue=None, uplink_queue=None,
+                 zhuge=None, trace=None):
+        self.sim = sim
+        self.plan = plan
+        self.downlink = downlink
+        self.uplink = uplink
+        self.down_channel = down_channel
+        self.up_channel = up_channel
+        self.downlink_queue = downlink_queue
+        self.uplink_queue = uplink_queue
+        self.zhuge = zhuge
+        self.trace = trace
+        self.rng = DeterministicRandom(plan.seed)
+        #: (time, kind, phase) for every executed fault phase, in order.
+        self.log: list[tuple[float, str, str]] = []
+        self.loss_dropped = 0
+        self.roam_flushed = 0
+        self._track = "faults"
+        self._arm()
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _arm(self) -> None:
+        for index, fault in enumerate(self.plan.faults):
+            self.sim.call_at(
+                fault.start,
+                lambda fault=fault, index=index: self._begin(fault, index))
+            if fault.duration > 0:
+                self.sim.call_at(
+                    fault.end,
+                    lambda fault=fault, index=index: self._end(fault, index))
+
+    def _links(self, target: str):
+        links = []
+        if target in ("down", "both") and self.downlink is not None:
+            links.append(("down", self.downlink))
+        if target in ("up", "both") and self.uplink is not None:
+            links.append(("up", self.uplink))
+        return links
+
+    def _channels(self, target: str):
+        channels = []
+        if target in ("down", "both") and self.down_channel is not None:
+            channels.append(self.down_channel)
+        if target in ("up", "both") and self.up_channel is not None:
+            channels.append(self.up_channel)
+        return channels
+
+    def _queues(self, target: str):
+        queues = []
+        if target in ("down", "both") and self.downlink_queue is not None:
+            queues.append(self.downlink_queue)
+        if target in ("up", "both") and self.uplink_queue is not None:
+            queues.append(self.uplink_queue)
+        return queues
+
+    # -- fault phases --------------------------------------------------------
+
+    def _begin(self, fault: FaultSpec, index: int) -> None:
+        self.log.append((self.sim.now, fault.kind, "begin"))
+        if self.trace is not None:
+            if fault.duration > 0:
+                self.trace.fault_window(self._track, fault.kind, index,
+                                        fault.duration, fault.target,
+                                        fault.magnitude)
+            self.trace.fault_phase(self._track, fault.kind, index, "begin")
+        if fault.kind == "blackout":
+            for _, link in self._links(fault.target):
+                link.block()
+        elif fault.kind == "rate_crash":
+            for channel in self._channels(fault.target):
+                channel.fault_scale = fault.magnitude
+        elif fault.kind == "loss_burst":
+            for direction, link in self._links(fault.target):
+                link.fault_drop = self._loss_predicate(
+                    fault, index, direction)
+        elif fault.kind == "ap_reset":
+            if self.zhuge is not None:
+                self.zhuge.reset_state()
+        elif fault.kind == "roam":
+            for _, link in self._links("both"):
+                link.block()
+            for queue in self._queues("both"):
+                self.roam_flushed += queue.drop_all("roam")
+
+    def _end(self, fault: FaultSpec, index: int) -> None:
+        self.log.append((self.sim.now, fault.kind, "end"))
+        if self.trace is not None:
+            self.trace.fault_phase(self._track, fault.kind, index, "end")
+        if fault.kind == "blackout":
+            for _, link in self._links(fault.target):
+                link.unblock()
+        elif fault.kind == "rate_crash":
+            for channel in self._channels(fault.target):
+                channel.fault_scale = 1.0
+        elif fault.kind == "loss_burst":
+            for _, link in self._links(fault.target):
+                link.fault_drop = None
+        elif fault.kind == "roam":
+            # Re-association: links come back, but the client the AP
+            # learned is gone — estimator state restarts from scratch.
+            for _, link in self._links("both"):
+                link.unblock()
+            if self.zhuge is not None:
+                self.zhuge.reset_state()
+
+    def _loss_predicate(self, fault: FaultSpec, index: int, direction: str):
+        rng = self.rng.fork(f"loss-{index}-{direction}")
+        probability = fault.magnitude
+        trace = self.trace
+        track = self._track
+
+        def drop(packet) -> bool:
+            if rng.random() >= probability:
+                return False
+            self.loss_dropped += 1
+            if trace is not None:
+                trace.fault_loss(track, packet.pkt_id, direction)
+            return True
+
+        return drop

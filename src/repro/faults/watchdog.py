@@ -1,0 +1,179 @@
+"""Estimator-health watchdog: demote Zhuge to passthrough when blind.
+
+The Zhuge AP is only safe to keep in the loop while its Fortune-Teller
+predictions track reality. After a blackout, estimator reset, or roam,
+the prediction error spikes (or deliveries stop arriving at all) and a
+mis-timed ACK does active harm — the sender reacts to a congestion
+signal describing a link that no longer exists. The watchdog joins the
+AP's per-packet predictions against actual wireless deliveries (the
+same join the offline :class:`~repro.obs.audit.PredictionAuditor`
+performs), and drives a two-state machine with hysteresis:
+
+.. code-block:: text
+
+            unhealthy for >= demote_after
+   HEALTHY ------------------------------> DEGRADED
+           <------------------------------
+            healthy for >= promote_after
+            AND >= min_samples fresh joins
+
+"Unhealthy" means either *stale* (an un-joined prediction older than
+``stale_after`` — deliveries stopped) or *inaccurate* (mean absolute
+error of joins inside ``health_window`` above ``error_threshold``).
+:meth:`notify_reset` short-circuits the demote delay: an estimator
+reset is a ground-truth signal that predictions are garbage *now*.
+
+The watchdog only observes and decides; the actual fallback (stop
+delaying ACKs, stop synthesizing TWCC) is the AP's ``on_demote`` /
+``on_promote`` callbacks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Optional
+
+from repro.core.sliding_window import ExactFloatSum
+from repro.faults.spec import WatchdogConfig
+from repro.sim.engine import Simulator, Timer
+
+STATE_HEALTHY = "healthy"
+STATE_DEGRADED = "degraded"
+
+#: Open-prediction table cap: beyond this the oldest entries are
+#: evicted. During a blackout nothing is delivered, so the table would
+#: otherwise grow with every downlink packet the sender keeps pushing.
+MAX_OPEN_PREDICTIONS = 4096
+
+
+class EstimatorHealthWatchdog:
+    """Periodic health checker over the AP's prediction stream."""
+
+    def __init__(self, sim: Simulator, config: Optional[WatchdogConfig] = None,
+                 on_demote: Optional[Callable[[str], None]] = None,
+                 on_promote: Optional[Callable[[str], None]] = None):
+        self.sim = sim
+        self.config = config or WatchdogConfig()
+        self.on_demote = on_demote
+        self.on_promote = on_promote
+        self.state = STATE_HEALTHY
+        #: (time, new_state, reason) for every transition, in order.
+        self.transitions: list[tuple[float, str, str]] = []
+        self._open: OrderedDict[int, tuple[float, float]] = OrderedDict()
+        self._errors: deque[tuple[float, float]] = deque()
+        self._error_sum = ExactFloatSum()
+        self._unhealthy_since: Optional[float] = None
+        self._healthy_since: Optional[float] = None
+        self.evicted = 0
+        self.trace = None
+        self._track = "ap/watchdog"
+        self._timer = Timer(sim, self.config.check_interval, self._check)
+
+    # -- observation feed ----------------------------------------------------
+
+    def note_prediction(self, pkt_id: int, predicted_delay: float) -> None:
+        """The AP predicted ``predicted_delay`` for packet ``pkt_id``."""
+        if pkt_id in self._open:
+            del self._open[pkt_id]
+        elif len(self._open) >= MAX_OPEN_PREDICTIONS:
+            self._open.popitem(last=False)
+            self.evicted += 1
+        self._open[pkt_id] = (self.sim.now, predicted_delay)
+
+    def note_delivery(self, pkt_id: int) -> None:
+        """Packet ``pkt_id`` made it over the air; join with prediction."""
+        entry = self._open.pop(pkt_id, None)
+        if entry is None:
+            return
+        noted_at, predicted = entry
+        now = self.sim.now
+        error = abs((now - noted_at) - predicted)
+        self._errors.append((now, error))
+        self._error_sum.add(error)
+        self._expire_errors(now)
+
+    def notify_reset(self) -> None:
+        """The estimators were just wiped — demote immediately.
+
+        A reset invalidates both the open-prediction table (predictions
+        made by the dead estimator state) and the joined error history.
+        """
+        self._open.clear()
+        self._errors.clear()
+        self._error_sum.reset()
+        self._unhealthy_since = None
+        self._healthy_since = None
+        if self.state == STATE_HEALTHY:
+            self._transition(STATE_DEGRADED, "reset")
+
+    # -- health evaluation ---------------------------------------------------
+
+    @property
+    def mean_error(self) -> float:
+        if not self._errors:
+            return 0.0
+        return self._error_sum.value() / len(self._errors)
+
+    def _expire_errors(self, now: float) -> None:
+        horizon = now - self.config.health_window
+        while self._errors and self._errors[0][0] < horizon:
+            _, error = self._errors.popleft()
+            self._error_sum.subtract(error)
+        if not self._errors:
+            self._error_sum.reset()
+
+    def _is_stale(self, now: float) -> bool:
+        if not self._open:
+            return False
+        oldest_noted_at = next(iter(self._open.values()))[0]
+        return now - oldest_noted_at > self.config.stale_after
+
+    def _check(self) -> None:
+        now = self.sim.now
+        self._expire_errors(now)
+        config = self.config
+        stale = self._is_stale(now)
+        fresh = len(self._errors)
+        inaccurate = fresh > 0 and self.mean_error > config.error_threshold
+        unhealthy = stale or inaccurate
+        if self.state == STATE_HEALTHY:
+            self._healthy_since = None
+            if not unhealthy:
+                self._unhealthy_since = None
+                return
+            if self._unhealthy_since is None:
+                self._unhealthy_since = now
+            if now - self._unhealthy_since >= config.demote_after:
+                self._transition(STATE_DEGRADED,
+                                 "stale" if stale else "inaccurate")
+        else:
+            self._unhealthy_since = None
+            healthy = (not unhealthy and fresh >= config.min_samples)
+            if not healthy:
+                self._healthy_since = None
+                return
+            if self._healthy_since is None:
+                self._healthy_since = now
+            if now - self._healthy_since >= config.promote_after:
+                self._transition(STATE_HEALTHY, "recovered")
+
+    def _transition(self, state: str, reason: str) -> None:
+        self.state = state
+        self.transitions.append((self.sim.now, state, reason))
+        self._unhealthy_since = None
+        self._healthy_since = None
+        if self.trace is not None:
+            self.trace.fault_watchdog(self._track, state, reason)
+        callback = (self.on_demote if state == STATE_DEGRADED
+                    else self.on_promote)
+        if callback is not None:
+            callback(reason)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable_trace(self, bus, track: str = "ap/watchdog") -> None:
+        self.trace = bus
+        self._track = track
+
+    def stop(self) -> None:
+        self._timer.stop()

@@ -146,6 +146,21 @@ class DropTailQueue:
         self._packets.clear()
         self._bytes = 0
 
+    def drop_all(self, reason: str) -> int:
+        """Drop every queued packet, firing stats and drop callbacks.
+
+        Unlike :meth:`clear`, this is an observable loss event (a client
+        roam flushing in-flight packets): the AP's loss reporting and
+        the trace see every packet. Returns the number dropped.
+        """
+        dropped = 0
+        while self._packets:
+            packet = self._packets.popleft()
+            self._bytes -= packet.size
+            self._drop(packet, reason)
+            dropped += 1
+        return dropped
+
     def __len__(self) -> int:
         return len(self._packets)
 

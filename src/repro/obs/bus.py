@@ -141,3 +141,29 @@ class TraceBus:
     def cca_rate(self, track: str, target_bps: float) -> None:
         if self.wants("cca"):
             self.emit("cca", "rate", track, value=target_bps)
+
+    def fault_window(self, track: str, kind: str, index: int,
+                     duration_s: float, target: str,
+                     magnitude: Optional[float] = None) -> None:
+        if self.wants("fault"):
+            args = dict(kind=kind, index=index, duration_s=duration_s,
+                        target=target)
+            if magnitude is not None:
+                args["magnitude"] = magnitude
+            self.emit("fault", "window", track, severity=WARN, **args)
+
+    def fault_phase(self, track: str, kind: str, index: int,
+                    phase: str) -> None:
+        if self.wants("fault"):
+            self.emit("fault", "phase", track, severity=WARN,
+                      kind=kind, index=index, phase=phase)
+
+    def fault_loss(self, track: str, pkt_id: int, direction: str) -> None:
+        if self.wants("fault"):
+            self.emit("fault", "loss", track, pkt_id=pkt_id,
+                      direction=direction)
+
+    def fault_watchdog(self, track: str, state: str, reason: str) -> None:
+        if self.wants("fault"):
+            self.emit("fault", "watchdog", track, severity=WARN,
+                      state=state, reason=reason)

@@ -27,6 +27,11 @@ ap       feedback     reports, base_seq (in-band TWCC construction)
 cca      cwnd         value (bytes)
 cca      rate         value (target bps)
 sim      error        message
+fault    window       kind, index, duration_s, target[, magnitude]
+                      (one slice per windowed fault)
+fault    phase        kind, index, phase ("begin" / "end")
+fault    loss         pkt_id, direction (one per burst-loss drop)
+fault    watchdog     state, reason (AP health transitions)
 ======== ============ ==================================================
 
 Tracks (the ``track`` field) name the emitting entity — a queue, a
@@ -46,7 +51,7 @@ ERROR = 40
 _SEVERITY_NAMES = {DEBUG: "DEBUG", INFO: "INFO", WARN: "WARN", ERROR: "ERROR"}
 
 #: Every category a probe may emit; TraceConfig validates against this.
-CATEGORIES = ("sim", "queue", "link", "ap", "cca")
+CATEGORIES = ("sim", "queue", "link", "ap", "cca", "fault")
 
 
 def severity_name(severity: int) -> str:

@@ -37,7 +37,8 @@ _COUNTERS = {
 
 #: (category, name) pairs exported as complete ("X") events, mapped to
 #: the args key holding the duration in seconds.
-_DURATIONS = {("link", "txop"): "airtime_s"}
+_DURATIONS = {("link", "txop"): "airtime_s",
+              ("fault", "window"): "duration_s"}
 
 
 def event_to_dict(event: TraceEvent) -> dict:

@@ -48,15 +48,36 @@ class CellularLink:
         self._carryover_bytes = 0.0
         self.ttis = 0
         self.packets_sent = 0
+        #: Fault hooks (:mod:`repro.faults`); same contract as
+        #: :class:`~repro.wireless.link.WirelessLink`.
+        self.blocked = False
+        self.fault_drop: Optional[Callable[[Packet], bool]] = None
+        self.fault_dropped = 0
 
     def send(self, packet: Packet) -> None:
         accepted = self.queue.enqueue(packet, self.sim.now)
-        if accepted and not self._serving:
+        if accepted and not self._serving and not self.blocked:
+            self._serving = True
+            self.sim.schedule(0.0, self._serve_tti)
+
+    def block(self) -> None:
+        """Stop serving (cell outage); arrivals keep queueing."""
+        self.blocked = True
+
+    def unblock(self) -> None:
+        """Resume serving; kicks the loop if a backlog accumulated."""
+        self.blocked = False
+        if not self._serving and not self.queue.is_empty:
             self._serving = True
             self.sim.schedule(0.0, self._serve_tti)
 
     def _serve_tti(self) -> None:
         """Serve up to one TTI's worth of bytes, then re-arm."""
+        if self.blocked:
+            # No grants during the outage, and no hoarded budget after.
+            self._serving = False
+            self._carryover_bytes = 0.0
+            return
         if self.queue.is_empty:
             self._serving = False
             self._carryover_bytes = 0.0
@@ -88,6 +109,10 @@ class CellularLink:
         if self.deliver is None:
             return
         for packet in packets:
+            fault_drop = self.fault_drop
+            if fault_drop is not None and fault_drop(packet):
+                self.fault_dropped += 1
+                continue
             packet.received_at = self.sim.now
             self.deliver(packet)
 

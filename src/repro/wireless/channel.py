@@ -25,12 +25,17 @@ class WirelessChannel:
         self.trace = trace
         self.mcs = mcs
         self.mac_efficiency = mac_efficiency
+        #: Fault hook (:mod:`repro.faults`): multiplicative rate scale
+        #: during an MCS/rate-crash window; 1.0 = healthy.
+        self.fault_scale = 1.0
 
     def rate_at(self, time: float) -> float:
         """Deliverable rate (bps) at virtual ``time``; always positive."""
         rate = self.trace.rate_at(time)
         if self.mcs is not None:
             rate = min(rate, self.mcs.phy_rate_bps * self.mac_efficiency)
+        if self.fault_scale != 1.0:
+            rate *= self.fault_scale
         return max(rate, 1_000.0)
 
     def next_change(self, time: float) -> float:

@@ -54,6 +54,13 @@ class WirelessLink:
         self._serving = False
         self.txops = 0
         self.packets_sent = 0
+        #: Fault hooks (:mod:`repro.faults`). While ``blocked`` the
+        #: serving loop parks (arrivals keep queueing); ``fault_drop``
+        #: is an optional ``packet -> bool`` predicate consulted at
+        #: delivery time (True = the packet is lost over the air).
+        self.blocked = False
+        self.fault_drop: Optional[Callable[[Packet], bool]] = None
+        self.fault_dropped = 0
         #: Tracing probe (:class:`repro.obs.bus.TraceBus`); ``None`` =
         #: disabled. Rate-change events are deduplicated against the
         #: last traced rate so the track stays step-shaped.
@@ -63,11 +70,25 @@ class WirelessLink:
     def send(self, packet: Packet) -> None:
         """Accept a downlink packet (enqueue; kick the server if idle)."""
         accepted = self.queue.enqueue(packet, self.sim.now)
-        if accepted and not self._serving:
+        if accepted and not self._serving and not self.blocked:
+            self._serving = True
+            self.sim.schedule(0.0, self._serve_txop)
+
+    def block(self) -> None:
+        """Stop serving (link blackout); arrivals keep queueing."""
+        self.blocked = True
+
+    def unblock(self) -> None:
+        """Resume serving; kicks the loop if a backlog accumulated."""
+        self.blocked = False
+        if not self._serving and not self.queue.is_empty:
             self._serving = True
             self.sim.schedule(0.0, self._serve_txop)
 
     def _serve_txop(self) -> None:
+        if self.blocked:
+            self._serving = False
+            return
         if self.queue.is_empty:
             self._serving = False
             return
@@ -77,6 +98,11 @@ class WirelessLink:
         self.sim.schedule(access_delay, self._transmit_ampdu)
 
     def _transmit_ampdu(self) -> None:
+        if self.blocked:
+            # A blackout hit between the access-delay grant and the
+            # transmission; the txop is forfeited.
+            self._serving = False
+            return
         # Aggregate the head of the queue into one AMPDU. All packets in
         # the AMPDU dequeue at the same instant (bursty departures).
         ampdu: list[Packet] = []
@@ -121,6 +147,10 @@ class WirelessLink:
         if self.deliver is None:
             return
         for packet in ampdu:
+            fault_drop = self.fault_drop
+            if fault_drop is not None and fault_drop(packet):
+                self.fault_dropped += 1
+                continue
             packet.received_at = self.sim.now
             if self.trace is not None:
                 self.trace.link_delivery(self, packet)

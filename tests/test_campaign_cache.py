@@ -66,3 +66,52 @@ class TestResultCache:
         monkeypatch.delenv(CACHE_DIR_ENV)
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert default_cache_root() == tmp_path / "xdg" / "repro-campaign"
+
+
+class TestCachePrune:
+    def _fill(self, tmp_path, count):
+        cache = ResultCache(root=tmp_path)
+        specs = [_spec(seed=seed) for seed in range(1, count + 1)]
+        paths = [cache.put(spec, _summary(spec)) for spec in specs]
+        return cache, specs, paths
+
+    def test_prune_keeps_newest_within_budget(self, tmp_path):
+        import os
+        cache, specs, paths = self._fill(tmp_path, 4)
+        # Distinct mtimes: paths[0] oldest, paths[3] newest.
+        for age, path in enumerate(paths):
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        size = paths[0].stat().st_size
+        stats = cache.prune(max_bytes=2 * size + size // 2)
+        assert (stats.kept, stats.pruned) == (2, 2)
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists() and paths[3].exists()
+        assert stats.pruned_bytes > 0
+
+    def test_prune_zero_budget_empties_store(self, tmp_path):
+        cache, _specs, paths = self._fill(tmp_path, 3)
+        stats = cache.prune(max_bytes=0)
+        assert stats.kept == 0
+        assert stats.pruned == 3
+        assert not any(path.exists() for path in paths)
+
+    def test_get_refreshes_recency(self, tmp_path):
+        import os
+        cache, specs, paths = self._fill(tmp_path, 3)
+        stale = 1_000_000
+        for path in paths:
+            os.utime(path, (stale, stale))
+        # A hit on the oldest entry must move it to the front of the
+        # LRU order, so it survives a prune that drops the others.
+        assert cache.get(specs[0]) is not None
+        assert paths[0].stat().st_mtime > stale
+        size = paths[0].stat().st_size
+        stats = cache.prune(max_bytes=size + size // 2)
+        assert stats.kept == 1
+        assert paths[0].exists()
+        assert not paths[1].exists() and not paths[2].exists()
+
+    def test_prune_empty_store(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "nonexistent")
+        stats = cache.prune(max_bytes=1_000_000)
+        assert (stats.kept, stats.pruned) == (0, 0)

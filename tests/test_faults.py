@@ -1,0 +1,456 @@
+"""Fault layer: specs, watchdog, injector determinism, degradation.
+
+Covers the robustness acceptance criteria:
+
+* an empty :class:`FaultPlan` is the identity — spec payloads and
+  hashes are byte-identical to no plan at all;
+* a faulted cell is bit-identical whether computed serially, in a
+  worker pool, or replayed from the result cache;
+* mid-run estimator resets never emit negative or non-monotonic ACK
+  release times;
+* under a blackout + AP reset, the watchdog demotes Zhuge to
+  passthrough within its hysteresis bound and the fault-window delay is
+  no worse than the passthrough baseline;
+* fault trace events validate against the pinned Chrome schema.
+"""
+
+import dataclasses
+import threading
+import warnings
+
+import pytest
+
+from repro.campaign import ResultCache, ScenarioSpec, TraceSpec, run_specs
+from repro.campaign.summary import ScenarioSummary
+from repro.core.feedback_updater import OutOfBandFeedbackUpdater
+from repro.core.fortune_teller import FortuneTeller
+from repro.core.sliding_window import TokenBank
+from repro.faults import (STATE_DEGRADED, STATE_HEALTHY,
+                          EstimatorHealthWatchdog, FaultPlan, FaultSpec,
+                          WatchdogConfig)
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.random import DeterministicRandom
+
+
+class TestFaultSpec:
+    def test_aliases_resolve(self):
+        assert FaultSpec(kind="loss", start=1.0, duration=1.0).kind == \
+            "loss_burst"
+        assert FaultSpec(kind="crash", start=1.0, duration=1.0).kind == \
+            "rate_crash"
+        assert FaultSpec(kind="reset", start=1.0).kind == "ap_reset"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor", start=1.0)
+
+    def test_windowed_kinds_need_duration(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="blackout", start=1.0)
+
+    def test_reset_duration_normalized_to_zero(self):
+        assert FaultSpec(kind="ap_reset", start=1.0, duration=3.0) \
+            .duration == 0.0
+
+    def test_default_magnitudes_and_targets(self):
+        loss = FaultSpec(kind="loss_burst", start=0.0, duration=1.0)
+        assert loss.magnitude == 0.5
+        assert loss.target == "down"
+        blackout = FaultSpec(kind="blackout", start=0.0, duration=1.0)
+        assert blackout.magnitude is None
+        assert blackout.target == "both"
+
+    def test_magnitude_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="loss_burst", start=0.0, duration=1.0,
+                      magnitude=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="rate_crash", start=0.0, duration=1.0,
+                      magnitude=1.0)
+
+    def test_round_trip(self):
+        spec = FaultSpec(kind="loss_burst", start=2.0, duration=1.5,
+                         magnitude=0.3, target="up")
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_parse_dsl(self):
+        plan = FaultPlan.parse("blackout@10+1,reset@11,"
+                               "loss@5+2*0.3/up,crash@20+4*0.1")
+        kinds = [f.kind for f in plan.faults]
+        assert kinds == ["blackout", "ap_reset", "loss_burst", "rate_crash"]
+        loss = plan.faults[2]
+        assert (loss.start, loss.duration, loss.magnitude, loss.target) == \
+            (5.0, 2.0, 0.3, "up")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("blackout10")
+
+    def test_round_trip(self):
+        plan = FaultPlan.parse("blackout@10+1,loss@5+2*0.3/up", seed=7,
+                               watchdog_enabled=False)
+        assert FaultPlan.from_dict(plan.as_dict()) == plan
+
+
+class TestSpecHashStability:
+    """An empty plan must be indistinguishable from no plan at all."""
+
+    def _spec(self, **kwargs) -> ScenarioSpec:
+        return ScenarioSpec(trace=TraceSpec.constant(1e6, 1.0),
+                            duration=1.0, **kwargs)
+
+    def test_empty_plan_normalized_to_none(self):
+        assert self._spec(faults=FaultPlan()).faults is None
+
+    def test_unfaulted_payload_has_no_faults_key(self):
+        assert "faults" not in self._spec().as_dict()
+
+    def test_empty_plan_hashes_like_no_plan(self):
+        bare = self._spec()
+        empty = self._spec(faults=FaultPlan())
+        assert bare.as_dict() == empty.as_dict()
+        assert bare.content_hash() == empty.content_hash()
+
+    def test_faulted_spec_hashes_differently(self):
+        bare = self._spec()
+        faulted = self._spec(faults=FaultPlan.parse("blackout@0.2+0.1"))
+        assert bare.content_hash() != faulted.content_hash()
+
+    def test_faulted_spec_round_trips(self):
+        spec = self._spec(faults=FaultPlan.parse("blackout@0.2+0.1",
+                                                 seed=3))
+        assert ScenarioSpec.from_dict(spec.as_dict()) == spec
+
+    def test_unfaulted_summary_payload_unchanged(self):
+        summary = ScenarioSummary(spec=self._spec())
+        payload = summary.as_dict()
+        assert "fault_log" not in payload
+        assert "watchdog_transitions" not in payload
+
+
+class TestWatchdog:
+    def test_demotes_on_stale_within_bound(self):
+        sim = Simulator()
+        config = WatchdogConfig()
+        dog = EstimatorHealthWatchdog(sim, config)
+        dog.note_prediction(1, 0.010)  # never delivered
+        sim.run(until=2.0)
+        assert dog.state == STATE_DEGRADED
+        when, state, reason = dog.transitions[0]
+        assert (state, reason) == (STATE_DEGRADED, "stale")
+        assert when <= (config.stale_after + config.demote_after
+                        + 2 * config.check_interval)
+
+    def test_demotes_on_inaccurate(self):
+        sim = Simulator()
+        dog = EstimatorHealthWatchdog(sim, WatchdogConfig())
+        ids = iter(range(10_000))
+
+        def feed():
+            pkt = next(ids)
+            dog.note_prediction(pkt, 1.0)  # reality: instant delivery
+            dog.note_delivery(pkt)
+            sim.schedule(0.02, feed)
+
+        sim.schedule(0.0, feed)
+        sim.run(until=1.0)
+        assert dog.state == STATE_DEGRADED
+        assert dog.transitions[0][2] == "inaccurate"
+
+    def test_brief_staleness_does_not_demote(self):
+        sim = Simulator()
+        config = WatchdogConfig()
+        dog = EstimatorHealthWatchdog(sim, config)
+        # Delivered (accurately) just after the stale threshold but
+        # before the demote delay elapses: hysteresis holds.
+        delivery_at = config.stale_after + 0.15
+        dog.note_prediction(1, delivery_at)
+        sim.schedule(delivery_at, lambda: dog.note_delivery(1))
+        sim.run(until=2.0)
+        assert dog.state == STATE_HEALTHY
+        assert dog.transitions == []
+
+    def test_reset_demotes_immediately(self):
+        sim = Simulator()
+        dog = EstimatorHealthWatchdog(sim, WatchdogConfig())
+        dog.notify_reset()
+        assert dog.state == STATE_DEGRADED
+        assert dog.transitions[0][2] == "reset"
+
+    def test_promotes_after_sustained_health(self):
+        sim = Simulator()
+        config = WatchdogConfig()
+        dog = EstimatorHealthWatchdog(sim, config)
+        dog.notify_reset()
+        ids = iter(range(10_000))
+
+        def feed():
+            pkt = next(ids)
+            dog.note_prediction(pkt, 0.0)  # perfectly accurate joins
+            dog.note_delivery(pkt)
+            sim.schedule(0.02, feed)
+
+        sim.schedule(0.1, feed)
+        sim.run(until=4.0)
+        assert dog.state == STATE_HEALTHY
+        assert dog.transitions[-1][1:] == (STATE_HEALTHY, "recovered")
+
+    def test_no_promotion_without_min_samples(self):
+        sim = Simulator()
+        config = WatchdogConfig(min_samples=1000)
+        dog = EstimatorHealthWatchdog(sim, config)
+        dog.notify_reset()
+        ids = iter(range(10_000))
+
+        def feed():
+            pkt = next(ids)
+            dog.note_prediction(pkt, 0.0)
+            dog.note_delivery(pkt)
+            sim.schedule(0.1, feed)  # ~10/s: never 1000 inside 1 s window
+
+        sim.schedule(0.1, feed)
+        sim.run(until=4.0)
+        assert dog.state == STATE_DEGRADED
+
+
+class TestTokenBank:
+    def test_cap_evicts_oldest(self):
+        bank = TokenBank(max_entries=3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            bank.append(value)
+        assert list(bank) == [2.0, 3.0, 4.0]
+        assert bank.capped == 1
+        assert bank.total == pytest.approx(9.0)
+
+    def test_ttl_expiry(self):
+        now = [0.0]
+        bank = TokenBank(clock=lambda: now[0], ttl=1.0)
+        bank.append(1.0)
+        now[0] = 0.5
+        bank.append(2.0)
+        bank.expire(1.4)  # horizon 0.4: only the entry stamped at 0.0
+        assert list(bank) == [2.0]
+        assert bank.expired == 1
+        assert bank.total == pytest.approx(2.0)
+
+    def test_total_tracks_mutation(self):
+        bank = TokenBank()
+        bank.extend([1.0, 2.0, 3.0])
+        bank[0] = 0.5
+        assert bank.total == pytest.approx(5.5)
+        assert bank.popleft() == 0.5
+        assert bank.total == pytest.approx(5.0)
+        bank.clear()
+        assert bank.total == 0.0
+        assert not bank
+
+
+class TestResetMonotonicity:
+    """Mid-run estimator resets must never reorder or rewind ACKs."""
+
+    def test_release_times_monotone_across_reset(self):
+        sim = Simulator()
+        queue = DropTailQueue()
+        teller = FortuneTeller(sim, queue)
+        updater = OutOfBandFeedbackUpdater(
+            sim, teller, rng=DeterministicRandom(1), max_extra_delay=10.0)
+        rng = DeterministicRandom(2)
+        releases = []
+        t = 0.0
+        for i in range(600):
+            if i == 200:
+                updater.reset_state()
+            if i == 350:
+                updater.passthrough = True
+            if i == 450:
+                updater.passthrough = False
+                updater.reset_state()
+            delta = rng.gauss(0.002, 0.004)
+            if delta >= 0:
+                updater.delta_history.push(t, delta)
+            elif updater.use_tokens:
+                updater.token_history.append(-delta)
+            delay = updater.ack_delay(t)
+            assert delay >= 0.0
+            releases.append(t + delay)
+            t += 0.002
+        assert releases == sorted(releases)
+
+    def test_reset_clears_ledgers_but_not_ordering(self):
+        sim = Simulator()
+        updater = OutOfBandFeedbackUpdater(
+            sim, FortuneTeller(sim, DropTailQueue()),
+            rng=DeterministicRandom(1))
+        updater.delta_history.push(0.0, 0.01)
+        updater.token_history.append(0.02)
+        updater._last_sent_time = 5.0
+        updater.reset_state()
+        assert updater.outstanding_tokens == 0.0
+        assert updater._last_total_delay is None
+        assert updater._last_sent_time == 5.0
+
+
+def _faulted_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        trace=TraceSpec.for_family("W2", duration=13, seed=1),
+        protocol="tcp", cca="copa", ap_mode="zhuge",
+        duration=8.0, warmup=2.0, seed=1,
+        faults=FaultPlan.parse("blackout@4+0.5,reset@4.5,loss@5.5+1*0.4"))
+
+
+class TestFaultDeterminism:
+    """Serial, pooled, and cache-replayed runs are bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_specs([_faulted_spec()], jobs=0, cache=None)[0]
+
+    def test_fault_log_recorded(self, serial):
+        kinds = [(kind, phase) for _, kind, phase in serial.fault_log]
+        assert ("blackout", "begin") in kinds
+        assert ("blackout", "end") in kinds
+        assert ("ap_reset", "begin") in kinds
+        assert ("loss_burst", "begin") in kinds
+
+    def test_watchdog_engaged(self, serial):
+        states = [state for _, state, _ in serial.watchdog_transitions]
+        assert "degraded" in states
+
+    def test_pool_matches_serial(self, serial):
+        pooled = run_specs([_faulted_spec()], jobs=2, cache=None)[0]
+        assert pooled.as_dict() == serial.as_dict()
+
+    def test_cache_replay_matches_serial(self, serial, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        first = run_specs([_faulted_spec()], jobs=0, cache=cache)[0]
+        replayed = run_specs([_faulted_spec()], jobs=0, cache=cache)[0]
+        assert cache.stats.hits == 1
+        assert first.as_dict() == serial.as_dict()
+        assert replayed.as_dict() == serial.as_dict()
+
+
+class TestResilienceAcceptance:
+    """The tentpole acceptance: graceful degradation under blackout."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments.drivers.resilience import fig_resilience
+        return {row.scheme: row
+                for row in fig_resilience(blackout_lengths=(1.0,),
+                                          duration=20.0, seeds=(1,),
+                                          cache=None)}
+
+    def test_watchdog_demotes_within_hysteresis_bound(self, rows):
+        from repro.experiments.drivers.resilience import FAULT_START
+        config = WatchdogConfig()
+        bound = (FAULT_START + config.stale_after + config.demote_after
+                 + 2 * config.check_interval)
+        assert rows["zhuge"].demote_at is not None
+        assert FAULT_START < rows["zhuge"].demote_at <= bound
+
+    def test_watchdog_repromotes_after_recovery(self, rows):
+        assert rows["zhuge"].promote_at is not None
+        assert rows["zhuge"].promote_at > rows["zhuge"].demote_at
+
+    def test_fault_window_no_worse_than_passthrough(self, rows):
+        assert rows["zhuge"].fault_p50_ms <= \
+            rows["passthrough"].fault_p50_ms + 1e-6
+
+    def test_nodog_ablation_stays_engaged(self, rows):
+        assert rows["zhuge-nodog"].demote_at is None
+
+    def test_all_schemes_measured_through_fault(self, rows):
+        assert all(row.fault_samples > 100 for row in rows.values())
+
+
+class TestTimeoutTelemetry:
+    def _spec(self) -> ScenarioSpec:
+        return ScenarioSpec(trace=TraceSpec.constant(1e6, 1.0),
+                            duration=1.0)
+
+    def test_enforced_on_main_thread(self):
+        from repro.campaign import run_campaign
+        result = run_campaign(
+            [self._spec()], jobs=0, cache=None, timeout=30.0,
+            worker=lambda spec: ScenarioSummary(spec=spec))
+        assert result.progress.timeout_enforced is True
+        assert "timeout_enforced" in result.progress.as_dict()
+
+    def test_unenforced_in_thread_with_warning(self, monkeypatch):
+        import repro.campaign.runner as runner_mod
+        from repro.campaign import run_campaign
+        monkeypatch.setattr(runner_mod, "_ALARM_WARNED", False)
+        box = {}
+
+        def work():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                box["result"] = run_campaign(
+                    [self._spec()], jobs=0, cache=None, timeout=30.0,
+                    worker=lambda spec: ScenarioSummary(spec=spec))
+            box["warnings"] = caught
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert box["result"].progress.timeout_enforced is False
+        assert any(issubclass(w.category, RuntimeWarning)
+                   for w in box["warnings"])
+        # The warning fires once per process, not once per cell.
+        assert runner_mod._ALARM_WARNED is True
+
+    def test_no_timeout_requested_stays_enforced(self):
+        from repro.campaign import run_campaign
+        box = {}
+
+        def work():
+            box["result"] = run_campaign(
+                [self._spec()], jobs=0, cache=None, timeout=None,
+                worker=lambda spec: ScenarioSummary(spec=spec))
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert box["result"].progress.timeout_enforced is True
+
+
+class TestFaultTraceSchema:
+    """Fault events flow through the bus and validate against the
+    pinned Chrome trace schema."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        from repro.experiments.scenario import run_scenario
+        spec = dataclasses.replace(_faulted_spec())
+        from repro.obs.session import TraceConfig
+        config = spec.to_config()
+        config = dataclasses.replace(
+            config, trace_config=TraceConfig(events=("fault",)))
+        return run_scenario(config).trace_session
+
+    def test_fault_events_emitted(self, session):
+        names = {(e.category, e.name) for e in session.events}
+        assert ("fault", "window") in names
+        assert ("fault", "phase") in names
+        assert ("fault", "loss") in names
+        assert ("fault", "watchdog") in names
+
+    def test_chrome_doc_validates(self, session):
+        import json
+
+        from repro.obs.export import chrome_trace
+        from tests.test_trace_schema import SCHEMA_PATH, validate
+        doc = chrome_trace(list(session.events))
+        schema = json.loads(SCHEMA_PATH.read_text())
+        assert validate(doc, schema) == []
+
+    def test_fault_windows_are_duration_slices(self, session):
+        from repro.obs.export import chrome_trace
+        doc = chrome_trace(list(session.events))
+        slices = [e for e in doc["traceEvents"]
+                  if e["ph"] == "X" and e["name"] == "fault.window"]
+        assert slices
+        assert all(e["dur"] > 0 for e in slices)

@@ -19,7 +19,7 @@ class TestTraceConfig:
         assert TraceConfig.parse_events("queue, ap,cca") == (
             "queue", "ap", "cca")
         assert TraceConfig.parse_events("") == (
-            "sim", "queue", "link", "ap", "cca")
+            "sim", "queue", "link", "ap", "cca", "fault")
 
     def test_unknown_category_rejected(self):
         with pytest.raises(ValueError):
