@@ -3,6 +3,10 @@
 Paper: with 5-40 interferers, Zhuge cuts the *frequency* of network and
 application degradation by at least 50%; contention is continuous, so
 ratios (not per-event durations) are reported.
+
+Since the :mod:`repro.topology` layer the driver runs a genuine two-AP
+graph (bulk stations on AP-B contend for AP-A's airtime through a
+shared channel group); see ``interference_topology``.
 """
 
 from repro.experiments.drivers.competition import fig17_interference

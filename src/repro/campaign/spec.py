@@ -25,17 +25,14 @@ from typing import Optional
 from repro.experiments.scenario import ScenarioConfig
 from repro.faults.spec import FaultPlan
 from repro.obs.session import TraceConfig
-from repro.traces.synthetic import (TRACE_NAMES, abc_legacy_trace,
-                                    ethernet_trace, make_trace)
-from repro.traces.trace import BandwidthTrace
+from repro.topology.spec import TopologySpec
+# TraceSpec moved to repro.traces.spec (the topology layer references
+# traces per edge); re-exported here unchanged for existing importers.
+from repro.traces.spec import EXTRA_FAMILIES, TraceSpec  # noqa: F401
 
 #: Bumping this invalidates every cache entry regardless of code changes
 #: (e.g. when the summary schema itself evolves).
 SPEC_SCHEMA_VERSION = 1
-
-#: Families :meth:`TraceSpec.family` accepts, beyond the five synthetic
-#: wireless traces: wired access and the Appendix-B legacy cellular model.
-EXTRA_FAMILIES = ("eth", "abc-legacy")
 
 
 @lru_cache(maxsize=1)
@@ -53,111 +50,6 @@ def code_fingerprint() -> str:
         digest.update(path.relative_to(root).as_posix().encode("utf-8"))
         digest.update(path.read_bytes())
     return digest.hexdigest()[:16]
-
-
-def _canonical_family(name: str) -> str:
-    if name.lower() == "abc-legacy":
-        return "abc-legacy"
-    return name
-
-
-@dataclass(frozen=True)
-class TraceSpec:
-    """Reference to a bandwidth trace, buildable in any process.
-
-    ``kind`` selects the source:
-
-    * ``"family"`` — a calibrated synthetic generator (``W1``..``C3``,
-      ``eth``, ``abc-legacy``), identified by (family, duration, seed);
-    * ``"constant"`` — a flat rate (fairness/competition scenarios);
-    * ``"file"`` — a JSON trace file (the hash covers the file bytes).
-    """
-
-    kind: str
-    family: Optional[str] = None
-    duration: float = 60.0
-    seed: int = 1
-    interval: Optional[float] = None   # None -> the generator's default
-    rate_bps: Optional[float] = None
-    name: Optional[str] = None
-    path: Optional[str] = None
-
-    def __post_init__(self) -> None:
-        if self.kind not in ("family", "constant", "file"):
-            raise ValueError(f"unknown trace spec kind {self.kind!r}")
-        if self.kind == "family":
-            family = _canonical_family(self.family or "")
-            if family not in TRACE_NAMES + EXTRA_FAMILIES:
-                raise ValueError(f"unknown trace family {self.family!r}")
-            object.__setattr__(self, "family", family)
-        elif self.kind == "constant" and (self.rate_bps is None
-                                          or self.rate_bps <= 0):
-            raise ValueError(f"constant trace needs rate_bps > 0: "
-                             f"{self.rate_bps}")
-        elif self.kind == "file" and not self.path:
-            raise ValueError("file trace needs a path")
-
-    # -- constructors --------------------------------------------------------
-
-    @classmethod
-    def for_family(cls, family: str, duration: float, seed: int,
-                   interval: Optional[float] = None) -> "TraceSpec":
-        return cls(kind="family", family=family, duration=duration,
-                   seed=seed, interval=interval)
-
-    @classmethod
-    def constant(cls, rate_bps: float, duration: float,
-                 interval: float = 0.200,
-                 name: str = "constant") -> "TraceSpec":
-        return cls(kind="constant", rate_bps=rate_bps, duration=duration,
-                   interval=interval, name=name)
-
-    @classmethod
-    def from_file(cls, path: str | Path) -> "TraceSpec":
-        return cls(kind="file", path=str(path))
-
-    # -- materialization -----------------------------------------------------
-
-    def build(self) -> BandwidthTrace:
-        """Generate / load the referenced trace."""
-        if self.kind == "file":
-            return BandwidthTrace.load(self.path)
-        if self.kind == "constant":
-            return BandwidthTrace.constant(self.rate_bps, self.duration,
-                                           self.interval or 0.200,
-                                           self.name or "constant")
-        kwargs = {} if self.interval is None else {"interval": self.interval}
-        if self.family == "eth":
-            return ethernet_trace(duration=self.duration, seed=self.seed,
-                                  **kwargs)
-        if self.family == "abc-legacy":
-            return abc_legacy_trace(duration=self.duration, seed=self.seed,
-                                    **kwargs)
-        return make_trace(self.family, duration=self.duration,
-                          seed=self.seed, **kwargs)
-
-    def label(self) -> str:
-        if self.kind == "family":
-            return self.family
-        if self.kind == "constant":
-            return self.name or "constant"
-        return Path(self.path).stem
-
-    # -- serialization -------------------------------------------------------
-
-    def as_dict(self) -> dict:
-        return {k: v for k, v in asdict(self).items() if v is not None}
-
-    @classmethod
-    def from_dict(cls, payload: dict) -> "TraceSpec":
-        return cls(**payload)
-
-    def _hash_payload(self) -> dict:
-        payload = self.as_dict()
-        if self.kind == "file":
-            payload["file_sha256"] = hashlib.sha256(
-                Path(self.path).read_bytes()).hexdigest()
-        return payload
 
 
 @dataclass(frozen=True)
@@ -202,6 +94,11 @@ class ScenarioSpec:
     #: normalized to ``None`` so it hashes and behaves identically to
     #: no plan at all.
     faults: Optional[FaultPlan] = None
+    #: Explicit experiment graph (repro.topology). ``None`` — every
+    #: pre-topology spec — means the canonical single-AP graph derived
+    #: from the fields above. Omitted from the payload when ``None`` so
+    #: legacy specs keep their historical content hashes.
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         if self.zhuge_flow_mask is not None:
@@ -237,6 +134,12 @@ class ScenarioSpec:
             del payload["faults"]
         else:
             payload["faults"] = self.faults.as_dict()
+        # Same rule for the topology: absent means "canonical single-AP
+        # graph" and hashes exactly like a pre-topology-layer spec.
+        if payload["topology"] is None:
+            del payload["topology"]
+        else:
+            payload["topology"] = self.topology.as_dict()
         payload["trace"] = self.trace.as_dict()
         return payload
 
@@ -253,6 +156,9 @@ class ScenarioSpec:
         faults = payload.get("faults")
         if faults is not None:
             payload["faults"] = FaultPlan.from_dict(faults)
+        topology = payload.get("topology")
+        if topology is not None:
+            payload["topology"] = TopologySpec.from_dict(topology)
         return cls(**payload)
 
     def content_hash(self) -> str:

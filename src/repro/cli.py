@@ -33,11 +33,16 @@ from repro.experiments.drivers.format import format_table, mbps, pct
 from repro.experiments.drivers.traces_eval import (SCHEMES_BY_NAME,
                                                    row_from_summaries,
                                                    scheme_specs)
+from repro.topology.spec import (TopologySpec, first_mile_topology,
+                                 interference_topology, roaming_topology)
 from repro.traces.synthetic import TRACE_NAMES
 from repro.traces.trace import BandwidthTrace
 
 TRACE_CHOICES = list(TRACE_NAMES) + ["eth", "abc-legacy"]
 AP_MODES = ("none", "zhuge", "fastack", "abc")
+
+#: Multi-AP presets emitted by ``repro topology`` (see repro.topology).
+TOPOLOGY_PRESETS = ("interference", "roaming", "first-mile")
 
 
 def _trace_spec(args) -> TraceSpec:
@@ -65,6 +70,14 @@ def _fault_plan_from_args(args) -> FaultPlan | None:
     return FaultPlan.parse(text, seed=getattr(args, "fault_seed", 1))
 
 
+def _topology_from_args(args) -> TopologySpec | None:
+    path = getattr(args, "topology", None)
+    if not path:
+        return None
+    with open(path) as handle:
+        return TopologySpec.from_dict(json.load(handle))
+
+
 def _spec_from_args(args, ap_mode: str,
                     trace_out: str | None = None) -> ScenarioSpec:
     return ScenarioSpec(
@@ -80,6 +93,7 @@ def _spec_from_args(args, ap_mode: str,
         interferers=args.interferers,
         trace_config=_trace_config_from_args(args, out=trace_out),
         faults=_fault_plan_from_args(args),
+        topology=_topology_from_args(args),
     )
 
 
@@ -171,6 +185,14 @@ def cmd_campaign(args) -> int:
         for trace, scheme in grid:
             specs.extend(scheme_specs(trace, SCHEMES_BY_NAME[scheme],
                                       args.duration, seeds))
+
+    topology = _topology_from_args(args)
+    if topology is not None:
+        # One explicit graph for the whole grid; the topology is part
+        # of each spec (and its content hash), so multi-AP cells never
+        # alias single-AP ones in the result cache.
+        specs = [dataclasses.replace(spec, topology=topology)
+                 for spec in specs]
 
     if args.trace_dir:
         # Per-cell event-trace artifacts. The trace config is part of
@@ -328,6 +350,29 @@ def _cmd_trace_events(args) -> int:
     return 0
 
 
+def cmd_topology(args) -> int:
+    """Emit a multi-AP topology preset as TopologySpec JSON."""
+    if args.preset == "interference":
+        spec = interference_topology(ap_mode=args.ap,
+                                     queue_kind=args.queue,
+                                     interferers=args.interferers)
+    elif args.preset == "roaming":
+        spec = roaming_topology(ap_mode=args.ap, queue_kind=args.queue)
+    else:  # first-mile
+        spec = first_mile_topology(duration=args.duration)
+    payload = spec.as_dict()
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.out}: {len(spec.nodes)} nodes, "
+              f"{len(spec.edges)} edges, {len(spec.flows)} flows "
+              f"({sum(1 for n in spec.nodes if n.role == 'ap')} APs)")
+    else:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    return 0
+
+
 def cmd_trace_stats(args) -> int:
     from repro.traces.abw import reduction_tail_fraction
     trace = BandwidthTrace.load(args.file)
@@ -341,10 +386,54 @@ def cmd_trace_stats(args) -> int:
     return 0
 
 
+def _add_trace_options(parser: argparse.ArgumentParser) -> None:
+    """Bandwidth-trace selection, shared by every scenario command."""
+    group = parser.add_argument_group("bandwidth trace")
+    group.add_argument("--trace", default="W1", choices=TRACE_CHOICES)
+    group.add_argument("--trace-file", default=None,
+                       help="JSON trace file (overrides --trace)")
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """Event tracing (repro.obs). Named --trace-out/--trace-events
+    because --trace already selects the bandwidth-trace family."""
+    group = parser.add_argument_group("event tracing (repro.obs)")
+    group.add_argument("--trace-out", default=None,
+                       help="write an event trace of the run here "
+                            "(Chrome trace_event JSON, Perfetto-openable)")
+    group.add_argument("--trace-events", default="queue,link,ap,cca,fault",
+                       help="comma list of event categories to trace")
+    group.add_argument("--trace-format", default="chrome",
+                       choices=FORMATS)
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    """Fault injection (repro.faults)."""
+    group = parser.add_argument_group("fault injection (repro.faults)")
+    group.add_argument("--faults", default=None,
+                       help="fault plan DSL: comma list of "
+                            "kind@start[+duration][*magnitude][/target], "
+                            "e.g. 'blackout@10+2,reset@12', "
+                            "'loss@5+3*0.3/up', or — on a multi-AP "
+                            "topology — 'blackout@5+1/a-down' and "
+                            "'roam@5+0.4/client:ap-b' (kinds: blackout, "
+                            "rate_crash/crash, loss_burst/loss, "
+                            "ap_reset/reset, roam)")
+    group.add_argument("--fault-seed", type=int, default=1,
+                       help="seed for stochastic faults (loss bursts)")
+
+
+def _add_topology_options(parser: argparse.ArgumentParser) -> None:
+    """Explicit experiment graphs (repro.topology)."""
+    group = parser.add_argument_group("topology (repro.topology)")
+    group.add_argument("--topology", default=None, metavar="JSON",
+                       help="TopologySpec JSON file declaring an explicit "
+                            "(possibly multi-AP) experiment graph; "
+                            "generate presets with 'repro topology'")
+
+
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--trace", default="W1", choices=TRACE_CHOICES)
-    parser.add_argument("--trace-file", default=None,
-                        help="JSON trace file (overrides --trace)")
+    _add_trace_options(parser)
     parser.add_argument("--protocol", default="rtp", choices=("rtp", "tcp"))
     parser.add_argument("--cca", default="gcc",
                         help="gcc/nada/scream (rtp) or copa/bbr/cubic/abc (tcp)")
@@ -355,25 +444,9 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-mbps", type=float, default=4.0)
     parser.add_argument("--competitors", type=int, default=0)
     parser.add_argument("--interferers", type=int, default=0)
-    # Event tracing (repro.obs). Named --trace-out/--trace-events
-    # because --trace already selects the bandwidth-trace family.
-    parser.add_argument("--trace-out", default=None,
-                        help="write an event trace of the run here "
-                             "(Chrome trace_event JSON, Perfetto-openable)")
-    parser.add_argument("--trace-events", default="queue,link,ap,cca,fault",
-                        help="comma list of event categories to trace")
-    parser.add_argument("--trace-format", default="chrome",
-                        choices=FORMATS)
-    # Fault injection (repro.faults).
-    parser.add_argument("--faults", default=None,
-                        help="fault plan DSL: comma list of "
-                             "kind@start[+duration][*magnitude][/target], "
-                             "e.g. 'blackout@10+2,reset@12' or "
-                             "'loss@5+3*0.3/up' (kinds: blackout, "
-                             "rate_crash/crash, loss_burst/loss, "
-                             "ap_reset/reset, roam)")
-    parser.add_argument("--fault-seed", type=int, default=1,
-                        help="seed for stochastic faults (loss bursts)")
+    _add_topology_options(parser)
+    _add_obs_options(parser)
+    _add_fault_options(parser)
 
 
 def _add_campaign_exec_args(parser: argparse.ArgumentParser) -> None:
@@ -442,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--trace-dir", default=None,
                                  help="write one event-trace artifact per "
                                       "cell into this directory")
+    _add_topology_options(campaign_parser)
     _add_campaign_exec_args(campaign_parser)
     campaign_parser.set_defaults(func=cmd_campaign)
 
@@ -486,6 +560,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--cca", default="gcc")
     trace_parser.add_argument("--ap", default="zhuge", choices=AP_MODES)
     trace_parser.set_defaults(func=cmd_trace)
+
+    topology_parser = sub.add_parser(
+        "topology",
+        help="emit a multi-AP TopologySpec JSON preset for --topology")
+    topology_parser.add_argument("preset", choices=TOPOLOGY_PRESETS)
+    topology_parser.add_argument("--ap", default="zhuge", choices=AP_MODES,
+                                 help="optimization mode of the serving AP")
+    topology_parser.add_argument("--queue", default="fq_codel",
+                                 choices=("fifo", "codel", "fq_codel"))
+    topology_parser.add_argument("--interferers", type=int, default=5,
+                                 help="contending stations "
+                                      "(interference preset)")
+    topology_parser.add_argument("--duration", type=float, default=60.0,
+                                 help="access-trace length "
+                                      "(first-mile preset)")
+    topology_parser.add_argument("--out", default=None,
+                                 help="write the JSON here "
+                                      "(default: stdout)")
+    topology_parser.set_defaults(func=cmd_topology)
 
     stats_parser = sub.add_parser("trace-stats",
                                   help="summarize a trace file")

@@ -225,6 +225,17 @@ class OutOfBandFeedbackUpdater:
     def outstanding_tokens(self) -> float:
         return self.token_history.total
 
+    @property
+    def release_floor(self) -> float:
+        """The monotone release clamp (last feedback release instant)."""
+        return self._last_sent_time
+
+    def adopt_release_floor(self, floor: float) -> None:
+        """Raise the clamp to ``floor`` — used when an inter-AP handoff
+        carries the ordering constraint from the old AP's updater."""
+        if floor > self._last_sent_time:
+            self._last_sent_time = floor
+
     def reset_state(self) -> None:
         """Forget the delay ledger (AP restart / client handover).
 

@@ -72,6 +72,9 @@ class ZhugeAP:
         #: disabled. Set via :meth:`enable_trace`, which also fans the bus
         #: out to every registered updater (and to ones registered later).
         self.trace = None
+        #: Trace-track prefix; multi-AP topologies set this to the AP's
+        #: node name so each AP gets its own track family.
+        self.track_name = "ap"
 
     # -- flow registration (the AP's configurable IP list) -------------------
 
@@ -163,9 +166,8 @@ class ZhugeAP:
         if self.watchdog is not None:
             self.watchdog.notify_reset()
 
-    @staticmethod
-    def _flow_track(flow: FiveTuple) -> str:
-        return f"ap/{flow.src_port}->{flow.dst_port}"
+    def _flow_track(self, flow: FiveTuple) -> str:
+        return f"{self.track_name}/{flow.src_port}->{flow.dst_port}"
 
     def _teller_for(self, flow: FiveTuple) -> FortuneTeller:
         if not self._flow_isolating:
@@ -182,6 +184,23 @@ class ZhugeAP:
         if flow in self._inband:
             return FeedbackKind.IN_BAND
         return None
+
+    def release_floor(self, flow: FiveTuple) -> float:
+        """The flow's feedback release-time floor (0 if not applicable).
+
+        Only out-of-band flows carry one: the last release instant that
+        no later feedback may precede. Inter-AP handoffs read it off the
+        old AP and :meth:`adopt_release_floor` it onto the new one so
+        release times stay monotone across the move.
+        """
+        updater = self._oob.get(flow)
+        return updater.release_floor if updater is not None else 0.0
+
+    def adopt_release_floor(self, flow: FiveTuple, floor: float) -> None:
+        """Raise the flow's release floor to ``floor`` (handoff import)."""
+        updater = self._oob.get(flow)
+        if updater is not None:
+            updater.adopt_release_floor(floor)
 
     def out_of_band_updater(self, flow: FiveTuple) -> OutOfBandFeedbackUpdater:
         return self._oob[flow]

@@ -5,7 +5,13 @@ degradation durations versus the number of competitors.
 
 Fig. 17: bulk stations on *other* APs contend for the channel; since
 interference is continuous, the paper reports degradation *ratios*
-(frequency) rather than per-event durations.
+(frequency) rather than per-event durations. Since the
+:mod:`repro.topology` layer this runs on a genuine two-AP graph: the
+RTC client associates with AP-A while bulk stations associate with
+AP-B, every wireless edge sharing one contention domain, so AP-B's
+traffic consumes AP-A's airtime the way a neighbouring network really
+does. Counts beyond the explicitly simulated stations remain
+statistical (the stochastic per-edge interferer model).
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.campaign import ScenarioSpec, TraceSpec, run_specs
+from repro.topology.spec import interference_topology
 
 # Zhuge deploys on the system-default queue discipline, which is
 # fq_codel on Linux/OpenWrt (§4.1): each flow gets its own sub-queue and
@@ -80,7 +87,8 @@ def fig17_interference(interferer_counts=(0, 5, 10, 20, 40),
                        duration: float = 40.0,
                        seed: int = 1, jobs: int = 0,
                        cache=None) -> list[InterferenceRow]:
-    """Continuous channel contention; report degradation frequencies."""
+    """Continuous channel contention on a two-AP graph; report
+    degradation frequencies."""
     grid = [(count, scheme, overrides)
             for count in interferer_counts
             for scheme, overrides in SCHEMES]
@@ -88,7 +96,10 @@ def fig17_interference(interferer_counts=(0, 5, 10, 20, 40),
                                                      duration=duration,
                                                      seed=seed),
                           protocol="rtp", duration=duration, seed=seed,
-                          interferers=count, **overrides)
+                          interferers=count,
+                          topology=interference_topology(
+                              interferers=count, **overrides),
+                          **overrides)
              for count, _, overrides in grid]
     rows = []
     for (count, scheme, _), summary in zip(

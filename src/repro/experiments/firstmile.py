@@ -5,36 +5,34 @@ the *first* mile: the queue builds in the client's own network stack.
 The paper notes Zhuge's mechanisms apply there too, by integrating with
 the sender's stack instead of an AP.
 
-Topology::
+Topology (:func:`repro.topology.spec.first_mile_topology` — a genuine
+two-AP graph since the :mod:`repro.topology` layer)::
 
-    client[encoder + CCA (+ local fortune teller)]
-        --uplink wireless (bottleneck)--> AP --WAN--> server[receiver]
-    client <------------- WAN + downlink feedback ------------- server
+    station[encoder + CCA (+ local fortune teller)]
+        --uplink wireless (bottleneck)--> AP-A --WAN--> AP-B
+        --downlink wireless--> peer[receiver]
+    station <---- AP-A wireless <-- WAN <-- AP-B wireless <---- peer
 
 With ``client_zhuge=True``, a :class:`LocalFortuneLoop` watches the
-client's own uplink queue and synthesizes TWCC feedback from predicted
+station's own uplink queue and synthesizes TWCC feedback from predicted
 delays directly into the CCA — the shortest control loop possible (zero
-network traversal). The baseline waits for the server's real TWCC.
+network traversal). The baseline waits for the peer's real TWCC, which
+now crosses two wireless segments and the WAN on the way back.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.app.video import RtpVideoApp, VideoEncoder
-from repro.cca import make_rate_cca
 from repro.cca.base import FeedbackPacketReport
 from repro.core.fortune_teller import FortuneTeller
 from repro.metrics.recorder import FrameRecorder, RttRecorder
-from repro.net.link import WiredLink
-from repro.net.packet import FiveTuple, Packet, PacketKind
-from repro.net.queue import DropTailQueue
+from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Simulator, Timer
-from repro.sim.random import DeterministicRandom
+from repro.topology.builder import TopologyBuilder
+from repro.topology.spec import first_mile_topology
 from repro.traces.trace import BandwidthTrace
-from repro.transport.rtp import RtpReceiver, RtpSender
-from repro.wireless.channel import WirelessChannel
-from repro.wireless.link import WirelessLink
+from repro.transport.rtp import RtpSender
 
 
 @dataclass
@@ -102,70 +100,53 @@ class LocalFortuneLoop:
 
 
 def run_first_mile(config: FirstMileConfig) -> FirstMileResult:
-    """Simulate uplink video with or without client-side Zhuge."""
-    sim = Simulator()
-    rng = DeterministicRandom(config.seed)
-    flow = FiveTuple("client", "server", 5000, 6000, "udp")
+    """Simulate uplink video with or without client-side Zhuge.
 
-    uplink_queue = DropTailQueue(capacity_bytes=375_000, name="client-up")
-    uplink = WirelessLink(sim, WirelessChannel(config.trace), uplink_queue,
-                          name="first-mile")
-    wan = WiredLink(sim, 1e9, config.wan_delay, name="wan")
-    feedback_path = WiredLink(sim, None, config.wan_delay, name="wan-back")
+    Materializes :func:`first_mile_topology` — station, two APs, peer —
+    through the generic :class:`TopologyBuilder`, then grafts the
+    client-side fortune loop onto the station's endpoint: predictions
+    from the station's own uplink queue replace the peer's TWCC for
+    rate control (real NACK-driven loss recovery stays on).
+    """
+    from repro.experiments.scenario import ScenarioConfig
+    scenario = ScenarioConfig(
+        trace=config.trace, protocol="rtp", cca=config.cca,
+        duration=config.duration, seed=config.seed,
+        wan_delay=config.wan_delay, fps=config.fps,
+        initial_bps=config.initial_bps, max_bps=config.max_bps,
+        warmup=config.warmup,
+        topology=first_mile_topology(wan_delay=config.wan_delay,
+                                     duration=config.duration))
+    builder = TopologyBuilder(scenario)
+    fr = builder._rtc[0]
+    sender = fr.sender
 
-    cca = make_rate_cca(config.cca, initial_bps=config.initial_bps,
-                        max_bps=config.max_bps)
-    sender = RtpSender(sim, flow, cca)
-    receiver = RtpReceiver(sim, flow)
-    encoder = VideoEncoder(fps=config.fps, rng=rng.fork("enc"))
-    app = RtpVideoApp(sim, sender, receiver, encoder)
+    local_loop = None
+    if config.client_zhuge:
+        teller = FortuneTeller(builder.sim,
+                               builder.edges["a-up"].queue)
+        local_loop = LocalFortuneLoop(builder.sim, sender, teller)
+        transmit = sender.transmit
 
-    result = FirstMileResult(config=config)
-    teller = FortuneTeller(sim, uplink_queue)
-    local_loop = (LocalFortuneLoop(sim, sender, teller)
-                  if config.client_zhuge else None)
+        def client_transmit(packet: Packet) -> None:
+            if packet.kind == PacketKind.DATA:
+                local_loop.on_packet_sent(packet)
+            transmit(packet)
 
-    def client_transmit(packet: Packet) -> None:
-        if local_loop is not None and packet.kind == PacketKind.DATA:
-            local_loop.on_packet_sent(packet)
-        uplink.send(packet)
+        sender.transmit = client_transmit
 
-    sender.transmit = client_transmit
-    uplink.deliver = wan.send
+        def client_feedback(packet: Packet) -> None:
+            if packet.kind == PacketKind.RTCP_OTHER:
+                sender.on_nack(packet)
+            # Peer TWCC is ignored for rate control: the local
+            # predictions already covered those packets.
 
-    def server_receive(packet: Packet) -> None:
-        if packet.kind == PacketKind.DATA:
-            one_way = sim.now - packet.sent_at
-            result.rtt.record(sim.now,
-                              max(0.0, one_way) + config.wan_delay)
-        receiver.on_data(packet)
+        builder.handlers("station")[fr.flow.reversed()] = client_feedback
 
-    wan.deliver = server_receive
-    receiver.transmit = feedback_path.send
-
-    def client_feedback(packet: Packet) -> None:
-        if packet.kind == PacketKind.RTCP_OTHER:
-            sender.on_nack(packet)
-        elif local_loop is None:
-            sender.on_feedback(packet)
-        # With the local loop active, server TWCC is ignored for rate
-        # control (the local predictions already covered those packets).
-
-    feedback_path.deliver = client_feedback
-
-    sim.run(until=config.duration)
-    for t, d in zip(app.frame_recorder.frame_times,
-                    app.frame_recorder.frame_delays):
-        if t >= config.warmup:
-            result.frames.record(t, d)
-    filtered = RttRecorder()
-    for t, r in zip(result.rtt.times, result.rtt.rtts):
-        if t >= config.warmup:
-            filtered.record(t, r)
-    result.rtt = filtered
-    result.mean_bitrate_bps = sender.rate_recorder.mean_rate(
-        start=config.warmup)
+    scenario_result = builder.run()
+    flow = scenario_result.flows[0]
     if local_loop is not None:
         local_loop.stop()
-    app.stop()
-    return result
+    return FirstMileResult(config=config, rtt=flow.rtt,
+                           frames=flow.frames,
+                           mean_bitrate_bps=flow.mean_bitrate_bps)

@@ -1,4 +1,4 @@
-"""Scenario builder: the sender–WAN–AP–wireless–client pipeline.
+"""Scenario adapter: legacy configs over the declarative topology layer.
 
 One :class:`ScenarioConfig` describes a full experiment: protocol stack
 (RTP/GCC or TCP/{Copa,BBR,CUBIC,ABC}), AP mode (plain, Zhuge, FastAck,
@@ -6,42 +6,37 @@ ABC router), queue discipline, bandwidth trace, competitors, and
 interferers. :func:`run_scenario` builds the topology, runs it, and
 returns the recorders every figure reads.
 
-Topology (paper Fig. 1)::
+Since the :mod:`repro.topology` refactor this module is a thin adapter:
+a config without an explicit ``topology`` is converted into the
+canonical single-AP :class:`~repro.topology.spec.TopologySpec` (paper
+Fig. 1)::
 
     sender --WAN down--> [AP: Zhuge] --downlink queue--> wireless --> client
     sender <--WAN up---- [AP: Zhuge] <---uplink wireless (queue)--- client
+
+and materialized by :class:`~repro.topology.builder.TopologyBuilder` —
+the same engine that runs multi-AP graphs. The historical
+``_ScenarioBuilder`` name is the builder itself; result types and the
+warmup/goodput helpers re-export from :mod:`repro.topology.builder`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.aqm import make_queue
-from repro.app.bulk import BulkSenderApp, PeriodicBulkApp
-from repro.app.video import RtpVideoApp, TcpVideoApp, VideoEncoder
-from repro.baselines.fastack import FastAckProxy
-from repro.baselines.passthrough import PassthroughAP
-from repro.cca import make_rate_cca, make_window_cca
-from repro.cca.abc import AbcRouter
-from repro.core.feedback_updater import FeedbackKind
-from repro.core.zhuge_ap import ZhugeAP
 from repro.faults.spec import FaultPlan
-from repro.metrics.recorder import FrameRecorder, RttRecorder
-from repro.net.link import WiredLink
-from repro.net.packet import FiveTuple, Packet, PacketKind
-from repro.net.queue import DropTailQueue
-from repro.obs.session import TraceConfig, TraceSession
-from repro.sim.engine import Simulator
-from repro.sim.random import DeterministicRandom
+from repro.obs.session import TraceConfig
+from repro.topology.builder import (FlowResult, ScenarioResult,
+                                    TopologyBuilder, _BulkFlowAdapter,
+                                    _filtered_frames, _filtered_rtt,
+                                    _flow_goodput)
+from repro.topology.spec import TopologySpec, single_ap_topology
 from repro.traces.trace import BandwidthTrace
-from repro.transport.rtp import RtpReceiver, RtpSender
-from repro.transport.tcp import TcpReceiver, TcpSender
-from repro.wireless.channel import WirelessChannel
-from repro.wireless.interference import InterferenceModel
-from repro.wireless.cellular import CellularLink
-from repro.wireless.link import WirelessLink
-from repro.wireless.mcs import McsController
+
+__all__ = [
+    "ScenarioConfig", "FlowResult", "ScenarioResult", "run_scenario",
+]
 
 
 @dataclass
@@ -74,55 +69,16 @@ class ScenarioConfig:
     warmup: float = 5.0            # metrics ignore the first seconds
     trace_config: Optional[TraceConfig] = None  # event tracing (repro.obs)
     faults: Optional[FaultPlan] = None  # fault injection (repro.faults)
+    #: Explicit experiment graph (repro.topology). ``None`` — the legacy
+    #: default — means the canonical single-AP topology derived from the
+    #: fields above; a multi-AP spec takes over nodes/edges/flows while
+    #: the scenario fields keep supplying protocol, trace, and timing
+    #: defaults.
+    topology: Optional[TopologySpec] = None
 
-
-@dataclass
-class FlowResult:
-    """Per-RTC-flow recorders.
-
-    ``rtt`` is the *network-layer* RTT of data packets (downlink delivery
-    time minus send time, plus the stable return-path latency) measured
-    at the client side of the wireless hop — the paper's §7.2 metric,
-    independent of any feedback manipulation. ``cca_rtt`` is what the
-    sender's CCA perceives through its feedback stream (with Zhuge these
-    differ by design: the perceived signal is shifted earlier).
-    """
-
-    rtt: RttRecorder
-    frames: FrameRecorder
-    cca_rtt: RttRecorder = field(default_factory=RttRecorder)
-    goodput_bps: float = 0.0
-    mean_bitrate_bps: float = 0.0
-
-
-@dataclass
-class ScenarioResult:
-    """Everything the figures read after a run."""
-
-    config: ScenarioConfig
-    flows: list[FlowResult]
-    prediction_pairs: list[tuple[float, float]] = field(default_factory=list)
-    events_processed: int = 0
-    ap_packets: int = 0
-    #: Live tracing state when ``config.trace_config`` was set. Holds
-    #: the collected events and the prediction auditor; never serialized
-    #: into campaign summaries.
-    trace_session: Optional[TraceSession] = None
-    #: (time, kind, phase) of every executed fault phase, in order.
-    fault_log: list = field(default_factory=list)
-    #: (time, state, reason) of every AP watchdog transition, in order.
-    watchdog_transitions: list = field(default_factory=list)
-
-    @property
-    def rtt(self) -> RttRecorder:
-        return self.flows[0].rtt
-
-    @property
-    def frames(self) -> FrameRecorder:
-        return self.flows[0].frames
-
-    def measured_duration(self) -> float:
-        return self.config.duration - self.config.warmup
+    def canonical_topology(self) -> TopologySpec:
+        """The graph this config runs on (explicit or derived)."""
+        return self.topology or single_ap_topology(self)
 
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
@@ -131,403 +87,6 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     return builder.run()
 
 
-class _ScenarioBuilder:
-    """Constructs and runs one scenario; internal to :func:`run_scenario`."""
-
-    def __init__(self, config: ScenarioConfig):
-        self.config = config
-        self.sim = Simulator()
-        self.rng = DeterministicRandom(config.seed)
-        self._build_links()
-        self._build_ap()
-        self._build_rtc_flows()
-        self._build_competitors()
-        self.trace_session: Optional[TraceSession] = None
-        if config.trace_config is not None:
-            self._attach_tracing(config.trace_config)
-        self.fault_injector = None
-        if config.faults is not None and config.faults.faults:
-            self._attach_faults(config.faults)
-
-    # -- topology ------------------------------------------------------------
-
-    def _build_links(self) -> None:
-        config = self.config
-        mcs = None
-        if config.mcs_switch_period is not None:
-            mcs = McsController()
-            mcs.start_random_switching(self.sim, config.mcs_switch_period,
-                                       self.rng.fork("mcs"))
-        self.channel = WirelessChannel(config.trace, mcs=mcs)
-        interference = None
-        if config.interferers > 0:
-            interference = InterferenceModel(self.rng.fork("intf"),
-                                             config.interferers)
-        self.downlink_queue = make_queue(config.queue_kind,
-                                         config.queue_capacity, "down")
-        if config.link_kind == "cellular":
-            self.downlink_wireless = CellularLink(
-                self.sim, self.channel, self.downlink_queue, name="down-cell")
-        elif config.link_kind == "wifi":
-            self.downlink_wireless = WirelessLink(
-                self.sim, self.channel, self.downlink_queue,
-                interference=interference, name="down-wifi")
-        else:
-            raise ValueError(f"unknown link_kind {config.link_kind!r}")
-
-        # Uplink wireless: scaled copy of the channel; carries small
-        # feedback packets, so it adds latency (segment iii of Fig. 1)
-        # but rarely queues.
-        self.uplink_channel = uplink_channel = WirelessChannel(
-            config.trace.scaled(config.uplink_scale), mcs=mcs)
-        uplink_interference = None
-        if config.interferers > 0:
-            uplink_interference = InterferenceModel(self.rng.fork("intf-up"),
-                                                    config.interferers)
-        self.uplink_queue = DropTailQueue(capacity_bytes=200_000, name="up")
-        self.uplink_wireless = WirelessLink(
-            self.sim, uplink_channel, self.uplink_queue,
-            interference=uplink_interference, max_ampdu_packets=8,
-            name="up-wifi")
-
-        self.wan_down = WiredLink(self.sim, 1e9, config.wan_delay,
-                                  name="wan-down")
-        self.wan_up = WiredLink(self.sim, None, config.wan_delay,
-                                name="wan-up")
-
-    def _build_ap(self) -> None:
-        config = self.config
-        self.zhuge: Optional[ZhugeAP] = None
-        self.abc_router: Optional[AbcRouter] = None
-        self.fastack: dict[FiveTuple, FastAckProxy] = {}
-
-        if config.ap_mode == "zhuge":
-            self.ap = ZhugeAP(self.sim, self.downlink_queue,
-                              rng=self.rng.fork("zhuge"),
-                              record_predictions=config.record_predictions)
-            self.zhuge = self.ap
-        else:
-            self.ap = PassthroughAP()
-            if config.ap_mode == "abc":
-                share = 1.0
-                if config.interferers > 0:
-                    share = 1.0 / (1.0 + config.interferers)
-                self.abc_router = AbcRouter(
-                    self.downlink_queue,
-                    capacity_fn=lambda now, s=share: self.channel.rate_at(now) * s)
-            elif config.ap_mode not in ("none", "fastack"):
-                raise ValueError(f"unknown ap_mode {config.ap_mode!r}")
-
-        # Wire: WAN downlink -> AP -> wireless; client -> uplink -> AP -> WAN.
-        self.wan_down.deliver = self._ap_downlink_in
-        self.ap.forward_downlink = self.downlink_wireless.send
-        self.downlink_wireless.deliver = self._wireless_delivered
-        self.uplink_wireless.deliver = self._ap_uplink_in
-        self.ap.forward_uplink = self.wan_up.send
-        self.wan_up.deliver = self._server_receive
-
-        self._client_handlers: dict[FiveTuple, callable] = {}
-        self._server_handlers: dict[FiveTuple, callable] = {}
-        # Network-layer RTT recorders per RTC flow (the §7.2 metric):
-        # sampled at wireless delivery, independent of feedback rewriting.
-        self._network_rtt: dict[FiveTuple, RttRecorder] = {}
-        # Stable return-path latency: uplink wireless access (~3 ms
-        # typical) plus the WAN hop back to the server.
-        self._return_path_delay = self.config.wan_delay + 0.003
-
-    def _ap_downlink_in(self, packet: Packet) -> None:
-        if self.abc_router is not None and packet.kind == PacketKind.DATA:
-            self.abc_router.mark(packet, self.sim.now)
-        self.ap.on_downlink(packet)
-
-    def _wireless_delivered(self, packet: Packet) -> None:
-        if self.zhuge is not None:
-            self.zhuge.on_wireless_delivery(packet)
-        for proxy in self.fastack.values():
-            proxy.on_wireless_delivery(packet)
-        recorder = self._network_rtt.get(packet.flow)
-        if recorder is not None and packet.kind == PacketKind.DATA:
-            one_way = self.sim.now - packet.sent_at
-            recorder.record(self.sim.now,
-                            max(0.0, one_way) + self._return_path_delay)
-        handler = self._client_handlers.get(packet.flow)
-        if handler is not None:
-            handler(packet)
-
-    def _ap_uplink_in(self, packet: Packet) -> None:
-        downlink_flow = packet.flow.reversed()
-        proxy = self.fastack.get(downlink_flow)
-        if proxy is not None:
-            proxy.on_uplink(packet, self.ap.on_uplink)
-        else:
-            self.ap.on_uplink(packet)
-
-    def _server_receive(self, packet: Packet) -> None:
-        handler = self._server_handlers.get(packet.flow)
-        if handler is not None:
-            handler(packet)
-
-    # -- RTC flows -----------------------------------------------------------
-
-    def _build_rtc_flows(self) -> None:
-        config = self.config
-        self.video_apps = []
-        mask = config.zhuge_flow_mask or tuple([True] * config.rtc_flows)
-        for index in range(config.rtc_flows):
-            flow = FiveTuple("server", "client", 5000 + index, 6000 + index,
-                             "udp" if config.protocol == "rtp" else "tcp")
-            optimized = index < len(mask) and mask[index]
-            if config.protocol == "rtp":
-                self._build_rtp_flow(flow, index, optimized)
-            elif config.protocol == "tcp":
-                self._build_tcp_flow(flow, index, optimized)
-            elif config.protocol == "quic":
-                self._build_quic_flow(flow, index, optimized)
-            else:
-                raise ValueError(f"unknown protocol {config.protocol!r}")
-
-    def _build_rtp_flow(self, flow: FiveTuple, index: int,
-                        optimized: bool) -> None:
-        config = self.config
-        cca = make_rate_cca(config.cca if config.cca != "copa" else "gcc",
-                            initial_bps=config.initial_bps,
-                            max_bps=config.max_bps)
-        sender = RtpSender(self.sim, flow, cca)
-        receiver = RtpReceiver(self.sim, flow)
-        encoder = VideoEncoder(fps=config.fps,
-                               rng=self.rng.fork(f"enc-{index}"))
-        app = RtpVideoApp(self.sim, sender, receiver, encoder,
-                          paced=config.paced_sender)
-        sender.transmit = self.wan_down.send
-        receiver.transmit = self.uplink_wireless.send
-
-        def rtcp_dispatch(packet: Packet, s=sender) -> None:
-            if packet.kind == PacketKind.RTCP_OTHER:
-                s.on_nack(packet)
-            else:
-                s.on_feedback(packet)
-
-        self._client_handlers[flow] = receiver.on_data
-        self._server_handlers[flow.reversed()] = rtcp_dispatch
-        if self.zhuge is not None and optimized:
-            self.zhuge.register_flow(flow, FeedbackKind.IN_BAND)
-        self._network_rtt[flow] = RttRecorder()
-        self.video_apps.append((sender, receiver, app))
-
-    def _build_tcp_flow(self, flow: FiveTuple, index: int,
-                        optimized: bool) -> None:
-        config = self.config
-        cca = make_window_cca(config.cca)
-        sender = TcpSender(self.sim, flow, cca)
-        receiver = TcpReceiver(self.sim, flow)
-        if config.app == "bulk":
-            # Buffer-filling flow for the CCA studies (paper Fig. 4):
-            # no encoder, the window is always tested.
-            app = _BulkFlowAdapter(self.sim, sender)
-        else:
-            encoder = VideoEncoder(fps=config.fps,
-                                   rng=self.rng.fork(f"enc-{index}"))
-            app = TcpVideoApp(self.sim, sender, receiver, encoder,
-                              max_rate_bps=config.max_bps)
-        sender.transmit = self.wan_down.send
-        receiver.transmit = self.uplink_wireless.send
-        self._client_handlers[flow] = receiver.on_data
-        self._server_handlers[flow.reversed()] = sender.on_ack
-        if self.zhuge is not None and optimized:
-            self.zhuge.register_flow(flow, FeedbackKind.OUT_OF_BAND)
-        if config.ap_mode == "fastack" and optimized:
-            proxy = FastAckProxy(self.sim, flow)
-            proxy.forward_uplink = self.ap.on_uplink
-            self.fastack[flow] = proxy
-        self._network_rtt[flow] = RttRecorder()
-        self.video_apps.append((sender, receiver, app))
-
-    def _build_quic_flow(self, flow: FiveTuple, index: int,
-                         optimized: bool) -> None:
-        """Video over the QUIC-style transport (Table 2's QUIC family).
-
-        Fully encrypted out-of-band feedback: Zhuge must operate on the
-        five-tuple and ACK timing alone — which is exactly how the
-        OUT_OF_BAND registration behaves.
-        """
-        from repro.app.quic_video import QuicVideoApp
-        from repro.transport.quic import QuicReceiver, QuicSender
-        config = self.config
-        cca = make_window_cca(config.cca if config.cca != "gcc" else "copa",
-                              mss=1200)
-        sender = QuicSender(self.sim, flow, cca, mss=1200)
-        receiver = QuicReceiver(self.sim, flow)
-        encoder = VideoEncoder(fps=config.fps,
-                               rng=self.rng.fork(f"enc-{index}"))
-        app = QuicVideoApp(self.sim, sender, receiver, encoder,
-                           max_rate_bps=config.max_bps)
-        sender.transmit = self.wan_down.send
-        receiver.transmit = self.uplink_wireless.send
-        self._client_handlers[flow] = receiver.on_data
-        self._server_handlers[flow.reversed()] = sender.on_ack
-        if self.zhuge is not None and optimized:
-            self.zhuge.register_flow(flow, FeedbackKind.OUT_OF_BAND)
-        self._network_rtt[flow] = RttRecorder()
-        self.video_apps.append((sender, receiver, app))
-
-    # -- competitors ------------------------------------------------------------
-
-    def _build_competitors(self) -> None:
-        config = self.config
-        self.bulk_apps = []
-        for index in range(config.competitors):
-            flow = FiveTuple("server", "client", 7000 + index, 8000 + index,
-                             "tcp")
-            sender = TcpSender(self.sim, flow, make_window_cca("cubic"))
-            receiver = TcpReceiver(self.sim, flow)
-            sender.transmit = self.wan_down.send
-            receiver.transmit = self.uplink_wireless.send
-            self._client_handlers[flow] = receiver.on_data
-            self._server_handlers[flow.reversed()] = sender.on_ack
-            if config.competitor_period is not None:
-                app = PeriodicBulkApp(self.sim, sender,
-                                      period=config.competitor_period)
-            else:
-                app = BulkSenderApp(self.sim, sender)
-            self.bulk_apps.append((sender, receiver, app))
-
-    # -- tracing (repro.obs) -----------------------------------------------------
-
-    def _attach_tracing(self, trace_config: TraceConfig) -> None:
-        """Attach probes to every instrumented component of the topology."""
-        session = TraceSession(self.sim, trace_config)
-        bus = session.bus
-        self.downlink_queue.trace = bus
-        self.uplink_queue.trace = bus
-        self.downlink_wireless.trace = bus
-        self.uplink_wireless.trace = bus
-        if self.zhuge is not None:
-            self.zhuge.enable_trace(bus)
-        for sender, _receiver, _app in self.video_apps:
-            cca = getattr(sender, "cca", None)
-            if cca is not None and hasattr(cca, "enable_trace"):
-                cca.enable_trace(
-                    bus, f"cca/{sender.flow.src_port}->{sender.flow.dst_port}")
-        self.trace_session = session
-
-    # -- fault injection (repro.faults) ------------------------------------------
-
-    def _attach_faults(self, plan: FaultPlan) -> None:
-        """Arm the plan's faults against the built topology."""
-        from repro.faults.injector import FaultInjector
-        if self.zhuge is not None and plan.watchdog_enabled:
-            self.zhuge.enable_watchdog(plan.watchdog)
-        self.fault_injector = FaultInjector(
-            self.sim, plan,
-            downlink=self.downlink_wireless,
-            uplink=self.uplink_wireless,
-            down_channel=self.channel,
-            up_channel=self.uplink_channel,
-            downlink_queue=self.downlink_queue,
-            uplink_queue=self.uplink_queue,
-            zhuge=self.zhuge,
-            trace=self.trace_session.bus if self.trace_session else None)
-
-    # -- run -------------------------------------------------------------------------
-
-    def run(self) -> ScenarioResult:
-        config = self.config
-        try:
-            self.sim.run(until=config.duration)
-        except Exception as exc:
-            if self.trace_session is not None:
-                self.trace_session.dump_on_error(exc)
-            raise
-
-        flows = []
-        for sender, receiver, app in self.video_apps:
-            network = self._network_rtt[sender.flow]
-            rtt = _filtered_rtt(network, config.warmup)
-            cca_rtt = _filtered_rtt(sender.rtt_recorder, config.warmup)
-            frames = _filtered_frames(app.frame_recorder, config.warmup)
-            if config.protocol == "rtp":
-                goodput = _rtp_goodput(receiver, config)
-            elif config.protocol == "quic":
-                goodput = _quic_goodput(receiver, config)
-            else:
-                goodput = _tcp_goodput(receiver, config)
-            result = FlowResult(rtt=rtt, frames=frames, cca_rtt=cca_rtt,
-                                goodput_bps=goodput)
-            result.mean_bitrate_bps = sender.rate_recorder.mean_rate(
-                start=config.warmup)
-            flows.append(result)
-
-        pairs = []
-        if self.zhuge is not None and config.record_predictions:
-            pairs = self.zhuge.fortune_teller.accuracy_pairs()
-
-        if self.zhuge is not None:
-            self.zhuge.stop()
-        for _, receiver, app in self.video_apps:
-            app.stop()
-
-        if self.trace_session is not None:
-            self.trace_session.export()
-
-        fault_log = []
-        if self.fault_injector is not None:
-            fault_log = list(self.fault_injector.log)
-        watchdog_transitions = []
-        if self.zhuge is not None and self.zhuge.watchdog is not None:
-            watchdog_transitions = list(self.zhuge.watchdog.transitions)
-
-        return ScenarioResult(config=config, flows=flows,
-                              prediction_pairs=pairs,
-                              events_processed=self.sim.events_processed,
-                              ap_packets=self.ap.packets_processed,
-                              trace_session=self.trace_session,
-                              fault_log=fault_log,
-                              watchdog_transitions=watchdog_transitions)
-
-
-class _BulkFlowAdapter:
-    """Presents the video-app interface over a bulk TCP sender."""
-
-    def __init__(self, sim, sender):
-        from repro.app.bulk import BulkSenderApp
-        self._bulk = BulkSenderApp(sim, sender)
-        self.frame_recorder = FrameRecorder()
-
-    def stop(self) -> None:
-        self._bulk.stop()
-
-
-def _filtered_rtt(recorder: RttRecorder, warmup: float) -> RttRecorder:
-    out = RttRecorder()
-    for t, r in zip(recorder.times, recorder.rtts):
-        if t >= warmup:
-            out.record(t, r)
-    return out
-
-
-def _filtered_frames(recorder: FrameRecorder, warmup: float) -> FrameRecorder:
-    out = FrameRecorder()
-    for t, d in zip(recorder.frame_times, recorder.frame_delays):
-        if t >= warmup:
-            out.record(t, d)
-    return out
-
-
-def _rtp_goodput(receiver: RtpReceiver, config: ScenarioConfig) -> float:
-    span = max(config.duration - config.warmup, 1e-9)
-    # Approximation: all packets are payload-sized; warmup share removed
-    # proportionally.
-    fraction = span / config.duration
-    return receiver.packets_received * fraction * 1200 * 8 / span
-
-
-def _quic_goodput(receiver, config: ScenarioConfig) -> float:
-    span = max(config.duration - config.warmup, 1e-9)
-    fraction = span / config.duration
-    return receiver.packets_received * fraction * 1200 * 8 / span
-
-
-def _tcp_goodput(receiver: TcpReceiver, config: ScenarioConfig) -> float:
-    span = max(config.duration - config.warmup, 1e-9)
-    fraction = span / config.duration
-    return receiver.packets_received * fraction * 1448 * 8 / span
+#: The scenario builder *is* the topology builder; the historical name
+#: stays importable for tests and tools that reach into builder state.
+_ScenarioBuilder = TopologyBuilder

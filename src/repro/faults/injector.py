@@ -37,7 +37,8 @@ class FaultInjector:
                  downlink=None, uplink=None,
                  down_channel=None, up_channel=None,
                  downlink_queue=None, uplink_queue=None,
-                 zhuge=None, trace=None):
+                 zhuge=None, trace=None,
+                 edges=None, zhuge_by_node=None, mover=None):
         self.sim = sim
         self.plan = plan
         self.downlink = downlink
@@ -48,6 +49,16 @@ class FaultInjector:
         self.uplink_queue = uplink_queue
         self.zhuge = zhuge
         self.trace = trace
+        #: Topology-aware handles (multi-AP graphs): ``edges`` maps edge
+        #: name -> :class:`~repro.topology.builder.EdgeRuntime` for
+        #: per-edge targeting, ``zhuge_by_node`` maps AP node name ->
+        #: ZhugeAP (or None) for targeted ``ap_reset``, and ``mover``
+        #: (duck-typed: ``begin_roam(client) -> int`` /
+        #: ``complete_roam(client, ap)``) performs real inter-AP
+        #: handoffs for node-targeted ``roam`` faults.
+        self.edges = edges or {}
+        self.zhuge_by_node = zhuge_by_node or {}
+        self.mover = mover
         self.rng = DeterministicRandom(plan.seed)
         #: (time, kind, phase) for every executed fault phase, in order.
         self.log: list[tuple[float, str, str]] = []
@@ -68,7 +79,18 @@ class FaultInjector:
                     fault.end,
                     lambda fault=fault, index=index: self._end(fault, index))
 
-    def _links(self, target: str):
+    def _edge_runtime(self, name: str):
+        runtime = self.edges.get(name)
+        if runtime is None or runtime.spec.kind == "wired":
+            # Unknown or un-blockable edge: skipped, like any other
+            # missing component.
+            return None
+        return runtime
+
+    def _links(self, target: str, edge: str = ""):
+        if edge:
+            runtime = self._edge_runtime(edge)
+            return [(edge, runtime.link)] if runtime is not None else []
         links = []
         if target in ("down", "both") and self.downlink is not None:
             links.append(("down", self.downlink))
@@ -76,7 +98,10 @@ class FaultInjector:
             links.append(("up", self.uplink))
         return links
 
-    def _channels(self, target: str):
+    def _channels(self, target: str, edge: str = ""):
+        if edge:
+            runtime = self._edge_runtime(edge)
+            return [runtime.channel] if runtime is not None else []
         channels = []
         if target in ("down", "both") and self.down_channel is not None:
             channels.append(self.down_channel)
@@ -84,7 +109,11 @@ class FaultInjector:
             channels.append(self.up_channel)
         return channels
 
-    def _queues(self, target: str):
+    def _queues(self, target: str, edge: str = ""):
+        if edge:
+            runtime = self._edge_runtime(edge)
+            return ([runtime.queue] if runtime is not None
+                    and runtime.queue is not None else [])
         queues = []
         if target in ("down", "both") and self.downlink_queue is not None:
             queues.append(self.downlink_queue)
@@ -103,44 +132,56 @@ class FaultInjector:
                                         fault.magnitude)
             self.trace.fault_phase(self._track, fault.kind, index, "begin")
         if fault.kind == "blackout":
-            for _, link in self._links(fault.target):
+            for _, link in self._links(fault.target, fault.edge):
                 link.block()
         elif fault.kind == "rate_crash":
-            for channel in self._channels(fault.target):
+            for channel in self._channels(fault.target, fault.edge):
                 channel.fault_scale = fault.magnitude
         elif fault.kind == "loss_burst":
-            for direction, link in self._links(fault.target):
+            for direction, link in self._links(fault.target, fault.edge):
                 link.fault_drop = self._loss_predicate(
                     fault, index, direction)
         elif fault.kind == "ap_reset":
-            if self.zhuge is not None:
-                self.zhuge.reset_state()
+            zhuge = (self.zhuge_by_node.get(fault.node) if fault.node
+                     else self.zhuge)
+            if zhuge is not None:
+                zhuge.reset_state()
         elif fault.kind == "roam":
-            for _, link in self._links("both"):
-                link.block()
-            for queue in self._queues("both"):
-                self.roam_flushed += queue.drop_all("roam")
+            if fault.node and self.mover is not None:
+                # Real inter-AP handoff: detach now, re-attach at _end.
+                self.roam_flushed += self.mover.begin_roam(fault.node)
+            else:
+                for _, link in self._links("both"):
+                    link.block()
+                for queue in self._queues("both"):
+                    self.roam_flushed += queue.drop_all("roam")
 
     def _end(self, fault: FaultSpec, index: int) -> None:
         self.log.append((self.sim.now, fault.kind, "end"))
         if self.trace is not None:
             self.trace.fault_phase(self._track, fault.kind, index, "end")
         if fault.kind == "blackout":
-            for _, link in self._links(fault.target):
+            for _, link in self._links(fault.target, fault.edge):
                 link.unblock()
         elif fault.kind == "rate_crash":
-            for channel in self._channels(fault.target):
+            for channel in self._channels(fault.target, fault.edge):
                 channel.fault_scale = 1.0
         elif fault.kind == "loss_burst":
-            for _, link in self._links(fault.target):
+            for _, link in self._links(fault.target, fault.edge):
                 link.fault_drop = None
         elif fault.kind == "roam":
-            # Re-association: links come back, but the client the AP
-            # learned is gone — estimator state restarts from scratch.
-            for _, link in self._links("both"):
-                link.unblock()
-            if self.zhuge is not None:
-                self.zhuge.reset_state()
+            if fault.node and self.mover is not None:
+                # Re-association on the target AP: routes move, the new
+                # AP's estimators start fresh, the release floor carries.
+                self.mover.complete_roam(fault.node, fault.to)
+            else:
+                # Legacy same-AP re-association: links come back, but
+                # the client the AP learned is gone — estimator state
+                # restarts from scratch.
+                for _, link in self._links("both"):
+                    link.unblock()
+                if self.zhuge is not None:
+                    self.zhuge.reset_state()
 
     def _loss_predicate(self, fault: FaultSpec, index: int, direction: str):
         rng = self.rng.fork(f"loss-{index}-{direction}")

@@ -78,6 +78,15 @@ class FaultSpec:
     duration: float = 0.0
     magnitude: Optional[float] = None
     target: str = ""
+    #: Topology-aware targeting (multi-AP graphs). ``edge`` aims the
+    #: fault at one named edge instead of the legacy down/up pair;
+    #: ``node``/``to`` make ``roam`` a real handoff (the named client
+    #: detaches and re-attaches to the ``to`` AP) and let ``ap_reset``
+    #: pick one AP. All three are empty on legacy single-AP plans and
+    #: omitted from the payload, so old plans hash identically.
+    edge: str = ""
+    node: str = ""
+    to: str = ""
 
     def __post_init__(self) -> None:
         kind = KIND_ALIASES.get(self.kind, self.kind)
@@ -110,6 +119,12 @@ class FaultSpec:
             raise ValueError(f"unknown fault target {self.target!r}; "
                              f"expected one of {TARGETS}")
         object.__setattr__(self, "target", target)
+        if self.to and kind != "roam":
+            raise ValueError(f"only roam faults take a ':to' AP "
+                             f"(got {self.to!r} on {kind})")
+        if kind == "roam" and self.node and not self.to:
+            raise ValueError(f"roam fault for node {self.node!r} needs a "
+                             f"target AP (node:ap)")
 
     @property
     def end(self) -> float:
@@ -119,6 +134,11 @@ class FaultSpec:
         payload = asdict(self)
         if payload["magnitude"] is None:
             del payload["magnitude"]
+        # Topology-targeting fields are omitted when unused so legacy
+        # plans keep their historical payloads (and content hashes).
+        for key in ("edge", "node", "to"):
+            if not payload[key]:
+                del payload[key]
         return payload
 
     @classmethod
@@ -208,6 +228,11 @@ class FaultPlan:
             blackout@10+1,reset@11
             loss@5+2*0.3/up,crash@20+4*0.1
 
+        ``/target`` accepts the legacy directions (``down``/``up``/
+        ``both``), a topology edge name (``/a-down``), a node name
+        (``/ap-b`` for ``ap_reset``), or — for ``roam`` — a
+        ``client:new-ap`` handoff pair (``roam@5+0.4/client:ap-b``).
+
         Aliases: ``loss`` -> loss_burst, ``crash`` -> rate_crash,
         ``reset`` -> ap_reset.
         """
@@ -224,12 +249,24 @@ class FaultPlan:
                     f"kind@start[+duration][*magnitude][/target]")
             duration = match.group("duration")
             magnitude = match.group("magnitude")
+            target = target.strip()
+            edge = node = to = ""
+            if ":" in target:
+                node, _, to = target.partition(":")
+                target = ""
+            elif target and target not in TARGETS:
+                kind = KIND_ALIASES.get(match.group("kind"),
+                                        match.group("kind"))
+                if kind == "ap_reset":
+                    node, target = target, ""
+                else:
+                    edge, target = target, ""
             faults.append(FaultSpec(
                 kind=match.group("kind"),
                 start=float(match.group("start")),
                 duration=float(duration) if duration else 0.0,
                 magnitude=float(magnitude) if magnitude else None,
-                target=target.strip()))
+                target=target, edge=edge, node=node, to=to))
         return cls(faults=tuple(faults), seed=seed,
                    watchdog_enabled=watchdog_enabled)
 

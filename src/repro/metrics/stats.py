@@ -81,4 +81,6 @@ def jain_fairness(rates: Sequence[float]) -> float:
     squares = sum(r * r for r in rates)
     if squares == 0:
         return 1.0
-    return (total * total) / (len(rates) * squares)
+    # Subnormal rates can push the quotient past 1.0 by a few ulps;
+    # the index is bounded above by 1 (Cauchy-Schwarz), so clamp.
+    return min(1.0, (total * total) / (len(rates) * squares))

@@ -1,0 +1,23 @@
+"""Declarative multi-AP topologies.
+
+:mod:`repro.topology.spec` holds the pure-data, content-hashable
+description (nodes, edges, flows); :mod:`repro.topology.builder`
+materializes it into the live simulation graph. The legacy single-AP
+scenario in :mod:`repro.experiments.scenario` is a thin adapter that
+converts a :class:`~repro.experiments.scenario.ScenarioConfig` into the
+canonical single-AP :class:`TopologySpec` and runs it through the same
+builder.
+"""
+
+from repro.topology.spec import (AP_MODES, EDGE_KINDS, NODE_ROLES,
+                                 EdgeSpec, FlowSpec, NodeSpec, TopologySpec,
+                                 first_mile_topology, interference_topology,
+                                 roaming_topology, single_ap_topology)
+from repro.topology.builder import TopologyBuilder
+
+__all__ = [
+    "AP_MODES", "EDGE_KINDS", "NODE_ROLES",
+    "NodeSpec", "EdgeSpec", "FlowSpec", "TopologySpec",
+    "single_ap_topology", "interference_topology", "roaming_topology",
+    "first_mile_topology", "TopologyBuilder",
+]

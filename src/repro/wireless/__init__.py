@@ -14,6 +14,7 @@ Fortune Teller can observe them without special hooks.
 
 from repro.wireless.mcs import MCS_TABLE_80211N, McsController
 from repro.wireless.channel import WirelessChannel
+from repro.wireless.contention import ContentionDomain
 from repro.wireless.interference import InterferenceModel
 from repro.wireless.link import WirelessLink
 from repro.wireless.cellular import CellularLink
@@ -22,6 +23,7 @@ __all__ = [
     "MCS_TABLE_80211N",
     "McsController",
     "WirelessChannel",
+    "ContentionDomain",
     "InterferenceModel",
     "WirelessLink",
     "CellularLink",

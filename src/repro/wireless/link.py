@@ -38,13 +38,19 @@ class WirelessLink:
                  max_ampdu_packets: int = 16,
                  max_ampdu_bytes: int = 24_000,
                  per_txop_overhead: float = 0.0003,
-                 name: str = "wifi"):
+                 name: str = "wifi",
+                 domain=None):
         if max_ampdu_packets < 1:
             raise ValueError("max_ampdu_packets must be >= 1")
         self.sim = sim
         self.channel = channel
         self.queue = queue
         self.interference = interference
+        #: Shared-channel arbiter (:mod:`repro.wireless.contention`);
+        #: ``None`` for single-AP topologies — the legacy fast path.
+        self.domain = domain
+        if domain is not None:
+            domain.register(self)
         self.propagation_delay = propagation_delay
         self.max_ampdu_packets = max_ampdu_packets
         self.max_ampdu_bytes = max_ampdu_bytes
@@ -95,6 +101,8 @@ class WirelessLink:
         access_delay = 0.0
         if self.interference is not None:
             access_delay = self.interference.access_delay()
+        if self.domain is not None:
+            access_delay += self.domain.access_delay(self.sim.now)
         self.sim.schedule(access_delay, self._transmit_ampdu)
 
     def _transmit_ampdu(self) -> None:
@@ -128,6 +136,8 @@ class WirelessLink:
             rate *= self.interference.airtime_share
         rate = max(rate, 1_000.0)
         airtime = (ampdu_bytes * 8) / rate + self.per_txop_overhead
+        if self.domain is not None:
+            self.domain.occupy(self.sim.now, airtime)
         self.txops += 1
         self.packets_sent += len(ampdu)
         if self.trace is not None:
