@@ -40,6 +40,11 @@ def main(argv: list[str]) -> int:
               f"predict {d['predict_ops_per_sec']:,.0f}/s, "
               f"on_data_packet {d['on_data_packet_ops_per_sec']:,.0f}/s, "
               f"ack_delay {d['ack_delay_ops_per_sec']:,.0f}/s")
+    e2e = run["end_to_end"]
+    print(f"  end_to_end: {e2e['packets_per_sec']:,.0f} packets/s "
+          f"({e2e['events_per_packet']:.2f} events/pkt, "
+          f"{e2e['events_per_sec']:,.0f} events/s, "
+          f"{e2e['delivered']}/{e2e['packets']} delivered)")
     return 0
 
 

@@ -125,10 +125,11 @@ class OutOfBandFeedbackUpdater:
             # nothing — stale predictions must not shape future ACKs.
             return delta
         if delta >= 0:
-            self.delta_history.push(self.sim.now, delta)
+            now = self.sim._now
+            self.delta_history.push(now, delta)
             if not self.distributional:
-                self._pending_deltas.append((self.sim.now, delta))
-                self._expire_pending(self.sim.now)
+                self._pending_deltas.append((now, delta))
+                self._expire_pending(now)
             if tr is not None:
                 tr.ap_delta(self._track, delta, banked=False)
         elif self.use_tokens:
@@ -176,7 +177,8 @@ class OutOfBandFeedbackUpdater:
                 tr.ap_ack_delay(self._track, 0.0, release - arrival_time,
                                 self.outstanding_tokens)
             return release - arrival_time
-        self.token_history.expire(arrival_time)
+        if self.token_history.ttl is not None:
+            self.token_history.expire(arrival_time)
         if self.distributional:
             extra = self.delta_history.sample(arrival_time)
         else:
@@ -213,7 +215,7 @@ class OutOfBandFeedbackUpdater:
                                PacketKind.RTCP_OTHER):
             forward(packet)
             return
-        delay = self.ack_delay(self.sim.now)
+        delay = self.ack_delay(self.sim._now)
         self.acks_delayed += 1
         self.total_injected_delay += delay
         if delay <= 0:

@@ -32,7 +32,7 @@ from repro.net.queue import DropTailQueue
 from repro.sim.engine import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class DelayPrediction:
     """The decomposed fortune of one packet."""
 
@@ -100,6 +100,10 @@ class FortuneTeller:
         self.cache_hits = 0
         self.records: dict[int, PredictionRecord] = {}
         self.predictions_made = 0
+        #: Cached discipline capability: whether the queue exposes
+        #: per-flow sub-queues.  Read on every predict; the queue's
+        #: class does not change after construction.
+        self._has_flow_queue = hasattr(queue, "flow_queue")
         queue.on_departure.append(self._on_queue_departure)
 
     # -- departure-side measurement ----------------------------------------
@@ -112,7 +116,9 @@ class FortuneTeller:
     def observe_departure(self, packet: Packet) -> None:
         # Trust the queue's dequeue stamp: it is the authoritative departure
         # time even when the queue is driven outside the event loop.
-        now = packet.dequeued_at if packet.dequeued_at is not None else self.sim.now
+        now = packet.dequeued_at
+        if now is None:
+            now = self.sim._now
         self.tx_rate.record(now, packet.size)
         self.tx_rate_long.record(now, packet.size)
         self.dequeue_intervals.record_departure(now)
@@ -123,7 +129,7 @@ class FortuneTeller:
     def _observed_queue(self) -> DropTailQueue:
         """The queue whose state this teller reads (flow sub-queue when
         the discipline isolates flows)."""
-        if self.flow is not None and hasattr(self.queue, "flow_queue"):
+        if self.flow is not None and self._has_flow_queue:
             sub = self.queue.flow_queue(self.flow)
             if sub is not None:
                 return sub
@@ -131,16 +137,21 @@ class FortuneTeller:
 
     def predict(self) -> DelayPrediction:
         """Predict the remaining delay of a packet arriving right now."""
-        now = self.sim.now
+        now = self.sim._now
         if (self.min_estimation_interval > 0
                 and self._cached_prediction is not None
                 and now - self._cached_at < self.min_estimation_interval):
             self.cache_hits += 1
             return self._cached_prediction
-        observed = self._observed_queue()
+        if self.flow is None:
+            observed = self.queue
+            isolating_no_sub = False
+        else:
+            observed = self._observed_queue()
+            isolating_no_sub = (self._has_flow_queue
+                                and observed is self.queue)
         q_size = observed.byte_length
-        if self.flow is not None and observed is self.queue and hasattr(
-                self.queue, "flow_queue"):
+        if isolating_no_sub:
             # Flow-isolating queue with no sub-queue yet: nothing queued.
             q_size = 0
         if self.burst_correction:
@@ -149,10 +160,7 @@ class FortuneTeller:
         if rate <= 0:
             rate = self.tx_rate_long.rate_bps(now)
         q_long = (q_size * 8 / rate) if rate > 0 else 0.0
-        q_short = observed.front_wait_time(now)
-        if self.flow is not None and observed is self.queue and hasattr(
-                self.queue, "flow_queue"):
-            q_short = 0.0
+        q_short = 0.0 if isolating_no_sub else observed.front_wait_time(now)
         tx = self.dequeue_intervals.average_interval(now)
         self.predictions_made += 1
         prediction = DelayPrediction(q_long, q_short, tx)
@@ -165,7 +173,7 @@ class FortuneTeller:
         prediction = self.predict()
         if self.record_predictions:
             self.records[packet.pkt_id] = PredictionRecord(
-                packet.pkt_id, prediction.total, self.sim.now)
+                packet.pkt_id, prediction.total, self.sim._now)
         return prediction
 
     def observe_delivery(self, packet: Packet) -> None:

@@ -54,39 +54,50 @@ class ExactFloatSum:
     ``math.fsum`` returns for the live window.
     """
 
-    __slots__ = ("_num", "_exp")
+    __slots__ = ("_num", "_exp", "_value")
 
     def __init__(self):
         self._num = 0   # sum == _num / 2**_exp exactly
         self._exp = 0
+        #: Cached rounded value; ``None`` after any mutation.  A query
+        #: between mutations (predict between departures) skips the
+        #: big-int division entirely.
+        self._value: Optional[float] = 0.0
 
     def add(self, x: float) -> None:
         n, d = x.as_integer_ratio()
         e = d.bit_length() - 1  # d is a power of two for finite floats
-        if e > self._exp:
-            self._num <<= e - self._exp
+        exp = self._exp
+        if e > exp:
+            self._num = (self._num << (e - exp)) + n
             self._exp = e
         else:
-            n <<= self._exp - e
-        self._num += n
+            self._num += n << (exp - e)
+        self._value = None
 
     def subtract(self, x: float) -> None:
         n, d = x.as_integer_ratio()
         e = d.bit_length() - 1
-        if e > self._exp:
-            self._num <<= e - self._exp
+        exp = self._exp
+        if e > exp:
+            self._num = (self._num << (e - exp)) - n
             self._exp = e
         else:
-            n <<= self._exp - e
-        self._num -= n
+            self._num -= n << (exp - e)
+        self._value = None
 
     def reset(self) -> None:
         self._num = 0
         self._exp = 0
+        self._value = 0.0
 
     def value(self) -> float:
         # int/int true division is correctly rounded.
-        return self._num / (1 << self._exp)
+        result = self._value
+        if result is None:
+            result = self._num / (1 << self._exp)
+            self._value = result
+        return result
 
 
 class _RingView:
@@ -377,9 +388,13 @@ class DelayDeltaHistory:
         """Random recent delta; 0.0 when the window is empty."""
         self.ops += 1
         self._expire(now)
-        if self._head == len(self._times):
+        head = self._head
+        n = len(self._times) - head
+        if n == 0:
             return 0.0
-        return self.rng.sample_from(_RingView(self._values, self._head))
+        # One uniform index draw — the same single ``randrange(n)`` the
+        # ring-view sample_from path consumes, minus the view object.
+        return self._values[head + self.rng.randindex(n)]
 
     def mean(self, now: float) -> float:
         self.ops += 1

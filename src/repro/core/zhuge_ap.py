@@ -59,6 +59,13 @@ class ZhugeAP:
 
         self._oob: dict[FiveTuple, OutOfBandFeedbackUpdater] = {}
         self._inband: dict[FiveTuple, InBandFeedbackUpdater] = {}
+        # Hot-path lookup tables: one merged dict per direction, so the
+        # per-packet path costs a single ``.get``. The uplink table is
+        # keyed by the *uplink* five-tuple, so the per-ACK path looks
+        # the updater up with the packet's own flow instead of building
+        # a reversed tuple per ACK.
+        self._downlink_updaters: dict[FiveTuple, object] = {}
+        self._uplink_updaters: dict[FiveTuple, object] = {}
         self.packets_processed = 0
         #: Estimator-health watchdog (:mod:`repro.faults.watchdog`);
         #: ``None`` until :meth:`enable_watchdog`, in which case the AP
@@ -100,6 +107,8 @@ class ZhugeAP:
                 feedback_interval=self.window)
             updater.send_uplink = self._uplink_out
             self._inband[flow] = updater
+        self._downlink_updaters[flow] = updater
+        self._uplink_updaters[flow.reversed()] = updater
         if self.trace is not None:
             updater.enable_trace(self.trace, self._flow_track(flow))
         # A flow registered while the AP is degraded starts degraded too.
@@ -213,10 +222,7 @@ class ZhugeAP:
     def on_downlink(self, packet: Packet) -> None:
         """A packet arrived from the WAN heading to the wireless client."""
         self.packets_processed += 1
-        flow = packet.flow
-        updater = self._oob.get(flow)
-        if updater is None:
-            updater = self._inband.get(flow)
+        updater = self._downlink_updaters.get(packet.flow)
         if updater is not None:
             updater.on_data_packet(packet)
             if self.watchdog is not None:
@@ -230,12 +236,9 @@ class ZhugeAP:
     def on_uplink(self, packet: Packet) -> None:
         """A packet arrived from the client heading to the WAN."""
         self.packets_processed += 1
-        downlink_flow = packet.flow.reversed()
-        if downlink_flow in self._oob:
-            self._oob[downlink_flow].on_feedback_packet(packet, self._uplink_out)
-        elif downlink_flow in self._inband:
-            self._inband[downlink_flow].on_feedback_packet(packet,
-                                                           self._uplink_out)
+        updater = self._uplink_updaters.get(packet.flow)
+        if updater is not None:
+            updater.on_feedback_packet(packet, self._uplink_out)
         else:
             self._uplink_out(packet)
 

@@ -79,10 +79,11 @@ class ProbeFreeUpdater(OutOfBandFeedbackUpdater):
         if self.passthrough:
             return delta
         if delta >= 0:
-            self.delta_history.push(self.sim.now, delta)
+            now = self.sim._now
+            self.delta_history.push(now, delta)
             if not self.distributional:
-                self._pending_deltas.append((self.sim.now, delta))
-                self._expire_pending(self.sim.now)
+                self._pending_deltas.append((now, delta))
+                self._expire_pending(now)
         elif self.use_tokens:
             self.token_history.append(-delta)
         return delta
@@ -92,7 +93,8 @@ class ProbeFreeUpdater(OutOfBandFeedbackUpdater):
             release = max(arrival_time, self._last_sent_time)
             self._last_sent_time = release
             return release - arrival_time
-        self.token_history.expire(arrival_time)
+        if self.token_history.ttl is not None:
+            self.token_history.expire(arrival_time)
         if self.distributional:
             extra = self.delta_history.sample(arrival_time)
         else:

@@ -54,9 +54,15 @@ def cdf_points(samples: Sequence[float],
     n = len(ordered)
     step = max(1, n // points)
     out = []
+    last_rank = 0
     for i in range(0, n, step):
         out.append((ordered[i], (i + 1) / n))
-    if out[-1][0] != ordered[-1]:
+        last_rank = i
+    # Close the curve by *rank*, not value: when subsampling skips the
+    # final rank but the max value is duplicated, a value comparison
+    # would leave the curve ending below 1.0 (a phantom CCDF tail with
+    # P(X > max) > 0).
+    if last_rank != n - 1:
         out.append((ordered[-1], 1.0))
     return out
 

@@ -40,12 +40,20 @@ class WiredLink:
         self.name = name
         self.deliver: Optional[DeliverCallback] = None
         self._busy = False
+        #: Packet currently serializing, and packets propagating toward
+        #: the far end (oldest first). Events are bound methods popping
+        #: from these instead of per-packet lambdas: the propagation
+        #: delay is fixed, so arrivals complete in send order.
+        self._tx_packet: Optional[Packet] = None
+        from collections import deque
+        self._inflight: "deque[Packet]" = deque()
 
     def send(self, packet: Packet) -> None:
         """Accept a packet for transmission (may queue or drop it)."""
         if self.rate_bps is None:
             # Infinite-rate delay line: bypass the queue entirely.
-            self.sim.schedule(self.delay, lambda p=packet: self._arrive(p))
+            self._inflight.append(packet)
+            self.sim.schedule(self.delay, self._arrive)
             return
         if self.queue.enqueue(packet, self.sim.now) and not self._busy:
             self._start_transmission()
@@ -56,14 +64,18 @@ class WiredLink:
             self._busy = False
             return
         self._busy = True
-        tx_time = packet.bits / self.rate_bps
-        self.sim.schedule(tx_time, lambda p=packet: self._finish(p))
+        self._tx_packet = packet
+        tx_time = packet.size * 8 / self.rate_bps
+        self.sim.schedule(tx_time, self._finish)
 
-    def _finish(self, packet: Packet) -> None:
-        self.sim.schedule(self.delay, lambda p=packet: self._arrive(p))
+    def _finish(self) -> None:
+        self._inflight.append(self._tx_packet)
+        self._tx_packet = None
+        self.sim.schedule(self.delay, self._arrive)
         self._start_transmission()
 
-    def _arrive(self, packet: Packet) -> None:
+    def _arrive(self) -> None:
+        packet = self._inflight.popleft()
         if self.deliver is not None:
             packet.received_at = self.sim.now
             self.deliver(packet)

@@ -4,14 +4,19 @@ A :class:`Packet` is the unit moved by links and queues. Transport
 protocols attach their headers in typed attributes rather than raw bytes;
 middleboxes that must treat payloads as opaque (Zhuge in out-of-band
 mode) only ever read the :class:`FiveTuple` and timestamps.
+
+Both types use allocation-lean layouts (PR 6): :class:`FiveTuple` is a
+``NamedTuple`` — construction, hashing, and equality run as plain tuple
+operations in C, which matters because the AP hashes a five-tuple per
+packet — and :class:`Packet` is a ``__slots__`` class, dropping the
+per-instance ``__dict__`` on the millions of packets a campaign creates.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, NamedTuple, Optional
 
 
 class PacketKind(enum.Enum):
@@ -24,8 +29,7 @@ class PacketKind(enum.Enum):
     CONTROL = "control"      # explicit-feedback control (ABC fields, etc.)
 
 
-@dataclass(frozen=True)
-class FiveTuple:
+class FiveTuple(NamedTuple):
     """Flow identity: the only thing Zhuge needs to match a flow."""
 
     src: str
@@ -43,7 +47,6 @@ class FiveTuple:
 _packet_ids = itertools.count(1)
 
 
-@dataclass
 class Packet:
     """A simulated packet.
 
@@ -57,25 +60,35 @@ class Packet:
         sent_at: time the sender emitted the packet.
         headers: per-protocol annotations (TWCC seq, frame ids, ECN-style
             marks). Middleboxes may add keys; end hosts own the schema.
+        enqueued_at / dequeued_at / received_at: timestamps stamped by
+            the AP / receiver as the packet moves.
     """
 
-    flow: FiveTuple
-    size: int
-    kind: PacketKind = PacketKind.DATA
-    seq: int = -1
-    ack: int = -1
-    sent_at: float = 0.0
-    headers: dict[str, Any] = field(default_factory=dict)
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = ("flow", "size", "kind", "seq", "ack", "sent_at",
+                 "headers", "pkt_id", "enqueued_at", "dequeued_at",
+                 "received_at")
 
-    # Timestamps stamped by the AP / receiver as the packet moves.
-    enqueued_at: Optional[float] = None
-    dequeued_at: Optional[float] = None
-    received_at: Optional[float] = None
-
-    def __post_init__(self) -> None:
-        if self.size <= 0:
-            raise ValueError(f"packet size must be positive: {self.size}")
+    def __init__(self, flow: FiveTuple, size: int,
+                 kind: PacketKind = PacketKind.DATA,
+                 seq: int = -1, ack: int = -1, sent_at: float = 0.0,
+                 headers: Optional[dict[str, Any]] = None,
+                 pkt_id: Optional[int] = None,
+                 enqueued_at: Optional[float] = None,
+                 dequeued_at: Optional[float] = None,
+                 received_at: Optional[float] = None):
+        if size <= 0:
+            raise ValueError(f"packet size must be positive: {size}")
+        self.flow = flow
+        self.size = size
+        self.kind = kind
+        self.seq = seq
+        self.ack = ack
+        self.sent_at = sent_at
+        self.headers = {} if headers is None else headers
+        self.pkt_id = next(_packet_ids) if pkt_id is None else pkt_id
+        self.enqueued_at = enqueued_at
+        self.dequeued_at = dequeued_at
+        self.received_at = received_at
 
     @property
     def bits(self) -> int:

@@ -10,6 +10,12 @@ The queue exposes, at any instant:
 
 Queue disciplines that reorder or drop differently (CoDel, FQ-CoDel)
 wrap or subclass this class; see :mod:`repro.aqm`.
+
+``dequeue_burst`` (PR 6) drains a txop's worth of head packets in one
+call — the wireless link's AMPDU aggregation loop without the
+per-packet ``front``/``dequeue`` dispatch — while firing exactly the
+same per-packet stats, trace probes, and departure callbacks in the
+same order as repeated ``dequeue`` calls would.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from typing import Callable, Optional
 from repro.net.packet import Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters accumulated over the queue's lifetime."""
 
@@ -65,6 +71,10 @@ class DropTailQueue:
         #: Tracing probe (:class:`repro.obs.bus.TraceBus`); ``None`` =
         #: disabled, and every probe site is a single attribute check.
         self.trace = None
+        #: True only for exact DropTailQueue instances: subclasses (AQMs,
+        #: probe-free benchmark shims) may override dequeue/_pop_head, so
+        #: ``dequeue_burst`` must take the generic per-packet path.
+        self._plain = type(self) is DropTailQueue
 
     # -- state inspection -------------------------------------------------
 
@@ -122,6 +132,66 @@ class DropTailQueue:
                 callback(packet, self)
         return packet
 
+    def dequeue_burst(self, now: float, max_packets: int,
+                      max_bytes: int) -> list[Packet]:
+        """Drain up to ``max_packets`` head packets in one call.
+
+        The byte cap applies from the second packet on (the head always
+        transmits, even oversized), matching AMPDU aggregation. Per
+        packet, the stats / trace / departure-callback sequence is
+        exactly what repeated :meth:`dequeue` calls produce, so burst
+        draining is observably identical — just cheaper.
+
+        Subclasses that override :meth:`dequeue` or :meth:`_pop_head`
+        (AQMs that drop at the head) are served by a generic loop over
+        the public interface instead of the direct-deque fast path.
+        """
+        if not self._plain:
+            burst: list[Packet] = []
+            burst_bytes = 0
+            while len(burst) < max_packets and not self.is_empty:
+                head = self.front()
+                if (burst and head is not None
+                        and burst_bytes + head.size > max_bytes):
+                    break
+                packet = self.dequeue(now)
+                if packet is None:
+                    break
+                burst.append(packet)
+                burst_bytes += packet.size
+            return burst
+
+        packets = self._packets
+        if not packets:
+            return []
+        popleft = packets.popleft
+        stats = self.stats
+        trace = self.trace
+        departures = self.on_departure
+        burst = []
+        append = burst.append
+        burst_bytes = 0
+        count = 0
+        while packets and count < max_packets:
+            head = packets[0]
+            size = head.size
+            if count and burst_bytes + size > max_bytes:
+                break
+            popleft()
+            self._bytes -= size
+            head.dequeued_at = now
+            stats.dequeued += 1
+            stats.bytes_dequeued += size
+            if trace is not None:
+                trace.queue_dequeue(self, head)
+            append(head)
+            burst_bytes += size
+            count += 1
+            if departures:
+                for callback in departures:
+                    callback(head, self)
+        return burst
+
     def _pop_head(self, now: float) -> Optional[Packet]:
         if not self._packets:
             return None
@@ -152,14 +222,20 @@ class DropTailQueue:
         Unlike :meth:`clear`, this is an observable loss event (a client
         roam flushing in-flight packets): the AP's loss reporting and
         the trace see every packet. Returns the number dropped.
+
+        The backlog is drained to a local list *before* any ``on_drop``
+        callback fires, so a callback that re-enqueues into this queue
+        (a retransmit shim, say) sees a consistent empty queue and its
+        packet is not swept into the same flush.
         """
-        dropped = 0
-        while self._packets:
-            packet = self._packets.popleft()
-            self._bytes -= packet.size
+        if not self._packets:
+            return 0
+        drained = list(self._packets)
+        self._packets.clear()
+        self._bytes = 0
+        for packet in drained:
             self._drop(packet, reason)
-            dropped += 1
-        return dropped
+        return len(drained)
 
     def __len__(self) -> int:
         return len(self._packets)

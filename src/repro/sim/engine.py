@@ -1,16 +1,44 @@
-"""Heap-based discrete-event simulator.
+"""Bucketed discrete-event simulator.
 
 Time is a float in seconds. Events are callables scheduled at an absolute
 time; ties are broken by insertion order so the simulation is fully
 deterministic for a fixed seed and schedule.
+
+Scheduler layout (the PR 6 hot-path restructure)
+------------------------------------------------
+The scheduler is two-tier:
+
+* a **now bucket** (`_ready`, a FIFO deque) holds events scheduled at
+  exactly the current virtual instant — the calendar bucket of width
+  zero at ``now``.  Zero-delay scheduling dominates the datapath (link
+  serve kicks, immediate forwards), and bucketed events cost O(1)
+  append/popleft instead of two O(log n) heap operations;
+* a **future heap** holds everything else as ``(time, seq, event)``
+  tuples, so heap sift comparisons run entirely in C (float/int tuple
+  compare) instead of calling a Python-level ``Event.__lt__``.
+
+The execution order is the exact total order ``(time, seq)`` the
+single-heap implementation produced: a heap event at the current
+instant was necessarily scheduled *before* the clock reached that
+instant (its seq is smaller than any bucket entry's), so the run loop
+drains same-instant heap events ahead of the bucket.
+
+Cancellation is O(1) (a flag) and cancelled events are *compacted*
+lazily: once more than half the scheduler is dead weight the heap is
+rebuilt without the corpses — amortized O(1) per cancel, and a
+campaign that cancels millions of timers no longer drags a heap of
+tombstones behind it.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import Callable, Optional
+
+#: Compaction starts only beyond this many dead events, so small
+#: simulations never pay the rebuild.
+_COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
@@ -22,17 +50,20 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule` (or
     :meth:`Simulator.call_at`). Cancelling an event is O(1): the event is
-    flagged and skipped when popped.
+    flagged, skipped when reached, and compacted away once dead events
+    dominate the scheduler.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(self, time: float, seq: int, callback: Callable[[], None],
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.
@@ -41,9 +72,12 @@ class Event:
         that already fired — a stale handle kept after the callback ran
         must not make the event look retroactively cancelled.
         """
-        if self.fired:
+        if self.fired or self.cancelled:
             return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -70,8 +104,14 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple[float, int, Event]] = []
+        # deque is imported lazily nowhere: a plain list with an index
+        # head would also work, but deque popleft/append are C-speed and
+        # the bucket stays small (events at one instant).
+        from collections import deque
+        self._ready: "deque[Event]" = deque()
+        self._seq = 0
+        self._dead = 0
         self._running = False
         self._events_processed = 0
         #: Tracing hook (:class:`repro.obs.bus.TraceBus`); ``None`` means
@@ -96,50 +136,137 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, callback)
+        now = self._now
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0:
+            event = Event(now, seq, callback, self)
+            self._ready.append(event)
+        else:
+            time = now + delay
+            if math.isnan(time):
+                raise SimulationError("cannot schedule at NaN time")
+            event = Event(time, seq, callback, self)
+            heapq.heappush(self._heap, (time, seq, event))
+        return event
 
     def call_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute virtual ``time``."""
         if math.isnan(time):
             raise SimulationError("cannot schedule at NaN time")
-        if time < self._now:
+        now = self._now
+        if time < now:
             raise SimulationError(
-                f"cannot schedule in the past: {time} < {self._now}"
+                f"cannot schedule in the past: {time} < {now}"
             )
-        event = Event(time, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, self)
+        if time == now:
+            self._ready.append(event)
+        else:
+            heapq.heappush(self._heap, (time, seq, event))
         return event
+
+    def _note_cancel(self) -> None:
+        """O(1) bookkeeping for a cancelled event; compact lazily."""
+        self._dead += 1
+        if (self._dead > _COMPACT_MIN_DEAD
+                and self._dead * 2 > len(self._heap) + len(self._ready)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events (O(live)).
+
+        Mutates the heap list in place: ``run`` holds a local alias to
+        it, and cancel (hence compaction) can happen mid-run from an
+        event callback.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._dead = sum(1 for event in self._ready if event.cancelled)
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
         """Run events in time order.
 
-        Stops when the heap is empty, when the next event is strictly past
-        ``until`` (the clock is then advanced to ``until``), or after
-        ``max_events`` events.
+        Stops when no events remain, when the next event is strictly past
+        ``until``, or after ``max_events`` events.  The clock is advanced
+        to ``until`` only when every remaining event (if any) lies beyond
+        it — a ``max_events`` stop with work still pending before
+        ``until`` leaves the clock at the last executed event, so a
+        resumed ``run`` observes a consistent virtual time.
         """
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        processed = 0
         try:
-            processed = 0
-            while self._heap:
+            ready = self._ready
+            heap = self._heap
+            heappop = heapq.heappop
+            if until is None and max_events is None:
+                # Run-to-exhaustion fast loop: no bound checks per event.
+                while True:
+                    if ready:
+                        # A heap event can share this instant (scheduled
+                        # before the clock got here, or a positive delay
+                        # that underflowed to now): strictly by seq.
+                        if (heap and heap[0][0] == self._now
+                                and heap[0][1] < ready[0].seq):
+                            event = heappop(heap)[2]
+                        else:
+                            event = ready.popleft()
+                    elif heap:
+                        entry = heappop(heap)
+                        self._now = entry[0]
+                        event = entry[2]
+                    else:
+                        break
+                    if event.cancelled:
+                        self._dead -= 1
+                        continue
+                    event.fired = True
+                    event.callback()
+                    processed += 1
+                return
+            while True:
                 if max_events is not None and processed >= max_events:
                     break
-                event = self._heap[0]
-                if until is not None and event.time > until:
+                if ready:
+                    time = self._now
+                    if until is not None and time > until:
+                        break
+                    if (heap and heap[0][0] == time
+                            and heap[0][1] < ready[0].seq):
+                        event = heappop(heap)[2]
+                    else:
+                        event = ready.popleft()
+                elif heap:
+                    time = heap[0][0]
+                    if until is not None and time > until:
+                        break
+                    event = heappop(heap)[2]
+                else:
                     break
-                heapq.heappop(self._heap)
                 if event.cancelled:
+                    self._dead -= 1
                     continue
-                self._now = event.time
+                self._now = time
                 event.fired = True
                 event.callback()
                 processed += 1
-                self._events_processed += 1
             if until is not None and self._now < until:
-                self._now = until
+                # Bugfix (PR 6): never teleport the clock past pending
+                # events — only fast-forward when the schedule is empty
+                # or the next event lies beyond ``until``.
+                next_time = self.peek()
+                if next_time is None or next_time > until:
+                    self._now = until
         finally:
+            # Flushed once per run; nothing reads the counter mid-run.
+            self._events_processed += processed
             self._running = False
 
     # -- tracing (repro.obs) -------------------------------------------------
@@ -169,13 +296,25 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        ready = self._ready
+        while ready and ready[0].cancelled:
+            ready.popleft()
+            self._dead -= 1
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        if ready:
+            # Bucket entries sit at the current instant; a same-instant
+            # heap event (smaller seq) does not change the *time*.
+            return self._ready[0].time
+        return heap[0][0] if heap else None
 
     def pending(self) -> int:
         """Number of pending (non-cancelled) events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return (sum(1 for event in self._ready if not event.cancelled)
+                + sum(1 for _, _, event in self._heap
+                      if not event.cancelled))
 
 
 class Timer:
@@ -184,11 +323,23 @@ class Timer:
     Calls ``callback`` every ``interval`` seconds until :meth:`stop`.
     The first tick fires after one full interval (or after ``first_delay``
     when given).
+
+    ``on_grid=True`` keeps every tick on the exact absolute grid
+    ``first_tick + k * interval`` (one multiplication per tick) instead
+    of accumulating ``now + interval`` per tick, whose floating-point
+    rounding drifts off the grid within a handful of ticks and keeps
+    drifting over long campaigns.  Changing ``interval`` re-anchors the
+    grid at the already-scheduled next tick.  The default remains the
+    legacy accumulating behaviour because the golden scenario digests
+    (tests/data/golden_summaries.json) pin bit-exact trajectories of
+    simulations built on it; new long-running campaigns should pass
+    ``on_grid=True``.
     """
 
     def __init__(self, sim: Simulator, interval: float,
                  callback: Callable[[], None],
-                 first_delay: Optional[float] = None):
+                 first_delay: Optional[float] = None,
+                 on_grid: bool = False):
         if interval <= 0:
             raise SimulationError(f"timer interval must be positive: {interval}")
         self._sim = sim
@@ -196,8 +347,13 @@ class Timer:
         self._callback = callback
         self._event: Optional[Event] = None
         self._stopped = False
+        self._on_grid = on_grid
         delay = interval if first_delay is None else first_delay
         self._event = sim.schedule(delay, self._fire)
+        #: Grid anchor: the first tick's absolute time; tick ``k`` after
+        #: the anchor fires at exactly ``_anchor + k * _interval``.
+        self._anchor = self._event.time
+        self._ticks = 0
 
     @property
     def interval(self) -> float:
@@ -208,12 +364,23 @@ class Timer:
         if value <= 0:
             raise SimulationError(f"timer interval must be positive: {value}")
         self._interval = value
+        if self._on_grid and self._event is not None and not self._stopped:
+            # Re-anchor: the next tick is already scheduled; ticks after
+            # it land on the new grid starting there.
+            self._anchor = self._event.time
+            self._ticks = 0
 
     def _fire(self) -> None:
         if self._stopped:
             return
         self._callback()
-        if not self._stopped:
+        if self._stopped:
+            return
+        if self._on_grid:
+            self._ticks += 1
+            self._event = self._sim.call_at(
+                self._anchor + self._ticks * self._interval, self._fire)
+        else:
             self._event = self._sim.schedule(self._interval, self._fire)
 
     def stop(self) -> None:

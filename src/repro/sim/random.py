@@ -19,6 +19,10 @@ class DeterministicRandom:
     def __init__(self, seed: int = 0):
         self._seed = seed
         self._rng = random.Random(seed)
+        # ``randrange(n)`` is exactly one ``_randbelow(n)`` draw; binding
+        # the underlying method skips the argument-normalization wrapper
+        # on the per-ACK sampling path without changing the sequence.
+        self._randbelow = self._rng._randbelow
 
     @property
     def seed(self) -> int:
@@ -63,7 +67,11 @@ class DeterministicRandom:
         """Uniformly sample one element of a non-empty sequence."""
         if not values:
             raise ValueError("cannot sample from an empty sequence")
-        return values[self._rng.randrange(len(values))]
+        return values[self._randbelow(len(values))]
+
+    def randindex(self, n: int) -> int:
+        """A uniform index in ``[0, n)`` — ``randrange(n)``, one draw."""
+        return self._randbelow(n)
 
     def shuffle(self, values: list) -> None:
         self._rng.shuffle(values)

@@ -72,6 +72,13 @@ class WirelessLink:
         #: last traced rate so the track stays step-shaped.
         self.trace = None
         self._traced_rate: Optional[float] = None
+        #: AMPDU currently on the air (between transmit and finish) and
+        #: AMPDUs propagating to the client, oldest first. Bound-method
+        #: events pop from these instead of closing over per-txop
+        #: lambdas — one less allocation per txop on the hot path.
+        self._tx_ampdu: Optional[list[Packet]] = None
+        from collections import deque
+        self._arrivals: "deque[list[Packet]]" = deque()
 
     def send(self, packet: Packet) -> None:
         """Accept a downlink packet (enqueue; kick the server if idle)."""
@@ -113,23 +120,16 @@ class WirelessLink:
             return
         # Aggregate the head of the queue into one AMPDU. All packets in
         # the AMPDU dequeue at the same instant (bursty departures).
-        ampdu: list[Packet] = []
-        ampdu_bytes = 0
-        while (len(ampdu) < self.max_ampdu_packets
-               and not self.queue.is_empty):
-            head = self.queue.front()
-            if (ampdu and head is not None
-                    and ampdu_bytes + head.size > self.max_ampdu_bytes):
-                break
-            packet = self.queue.dequeue(self.sim.now)
-            if packet is None:
-                break
-            ampdu.append(packet)
-            ampdu_bytes += packet.size
+        ampdu = self.queue.dequeue_burst(self.sim.now,
+                                         self.max_ampdu_packets,
+                                         self.max_ampdu_bytes)
         if not ampdu:
             # The AQM dropped the rest of the backlog; try again.
             self.sim.schedule(0.0, self._serve_txop)
             return
+        ampdu_bytes = 0
+        for packet in ampdu:
+            ampdu_bytes += packet.size
 
         rate = self.channel.rate_at(self.sim.now)
         if self.interference is not None:
@@ -146,14 +146,22 @@ class WirelessLink:
                 self._traced_rate = rate
             self.trace.link_txop(self, len(ampdu), ampdu_bytes, airtime,
                                  rate)
-        self.sim.schedule(airtime, lambda pkts=ampdu: self._finish(pkts))
+        self._tx_ampdu = ampdu
+        self.sim.schedule(airtime, self._finish)
 
-    def _finish(self, ampdu: list[Packet]) -> None:
-        self.sim.schedule(self.propagation_delay,
-                          lambda pkts=ampdu: self._arrive(pkts))
+    def _finish(self) -> None:
+        # Only one AMPDU occupies the air at a time: the next txop is
+        # granted from here, so the slot is always ours to take.
+        self._arrivals.append(self._tx_ampdu)
+        self._tx_ampdu = None
+        self.sim.schedule(self.propagation_delay, self._arrive)
         self._serve_txop()
 
-    def _arrive(self, ampdu: list[Packet]) -> None:
+    def _arrive(self) -> None:
+        # Arrival events fire in the order their AMPDUs were appended
+        # (finish times and propagation delay are monotone), so the
+        # oldest in-flight AMPDU is the one landing now.
+        ampdu = self._arrivals.popleft()
         if self.deliver is None:
             return
         for packet in ampdu:

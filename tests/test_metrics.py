@@ -77,6 +77,21 @@ class TestCdf:
         points = cdf_points(samples, points=10)
         assert points[-1][0] == 999
 
+    def test_duplicated_max_closes_at_one(self):
+        # Regression: subsampling [1, 2, 3, 3] at step 2 emits ranks 0
+        # and 2; rank 2's *value* equals the max, so the old value-based
+        # check skipped the closing point and the CDF ended at 0.75 —
+        # a phantom CCDF tail with P(X > max) = 0.25.
+        points = cdf_points([1, 2, 3, 3], points=2)
+        assert points[-1] == (3, 1.0)
+        ccdf = ccdf_points([1, 2, 3, 3], points=2)
+        assert ccdf[-1][1] == 0.0
+
+    def test_duplicated_max_closes_at_one_large(self):
+        samples = [0.001] * 999 + [0.002]
+        points = cdf_points(samples, points=10)
+        assert points[-1] == (0.002, 1.0)
+
 
 class TestFairness:
     def test_equal_rates_fair(self):

@@ -58,6 +58,39 @@ class TestOverflow:
         assert drops == ["tail-overflow"]
 
 
+class TestDropAll:
+    def test_drop_all_counts_and_fires_callbacks(self, queue, flow):
+        reasons = []
+        queue.on_drop.append(lambda p, reason: reasons.append(reason))
+        queue.enqueue(Packet(flow, 1000), 0.0)
+        queue.enqueue(Packet(flow, 1000), 0.0)
+        assert queue.drop_all("roam-flush") == 2
+        assert reasons == ["roam-flush", "roam-flush"]
+        assert queue.is_empty
+        assert queue.byte_length == 0
+
+    def test_drop_all_reentrant_enqueue_survives(self, queue, flow):
+        # Regression: an on_drop callback that re-enqueues (a retransmit
+        # shim) must see a consistent empty queue. The old implementation
+        # popped one packet at a time, so the replacement was swept into
+        # the same flush.
+        replacements = []
+
+        def retransmit(packet, reason):
+            if packet.size == 1000:  # replacements (500 B) don't re-arm
+                replacement = Packet(flow, 500)
+                replacements.append(replacement)
+                queue.enqueue(replacement, 1.0)
+
+        queue.on_drop.append(retransmit)
+        queue.enqueue(Packet(flow, 1000), 0.0)
+        queue.enqueue(Packet(flow, 1000), 0.0)
+        assert queue.drop_all("roam-flush") == 2
+        assert queue.packet_length == 2
+        assert queue.byte_length == 1000
+        assert [queue.dequeue(2.0), queue.dequeue(2.0)] == replacements
+
+
 class TestFrontWaitTime:
     def test_empty_queue_zero_wait(self, queue):
         assert queue.front_wait_time(10.0) == 0.0

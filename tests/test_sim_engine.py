@@ -96,6 +96,27 @@ class TestRunUntil:
         sim.run(max_events=4)
         assert seen == [0, 1, 2, 3]
 
+    def test_max_events_stop_keeps_clock_at_last_event(self, sim):
+        # Regression: stopping early on max_events with events still
+        # pending must NOT fast-forward the clock to ``until`` — the
+        # remaining events would then sit in the simulator's past.
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run(until=10.0, max_events=1)
+        assert seen == [1]
+        assert sim.now == 1.0
+        sim.run(until=10.0)
+        assert seen == [1, 2]
+        assert sim.now == 10.0
+
+    def test_until_fast_forward_when_drained(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0, max_events=1)
+        # The cap was hit exactly as the queue drained: nothing is
+        # pending, so advancing to ``until`` is still correct.
+        assert sim.now == 5.0
+
 
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self, sim):
@@ -184,6 +205,38 @@ class TestTimer:
         timer = Timer(sim, 1.0, lambda: None)
         with pytest.raises(SimulationError):
             timer.interval = -1.0
+
+    def test_on_grid_timer_stays_on_exact_grid(self, sim):
+        # Regression: accumulating ``now + interval`` per tick drifts off
+        # the grid within a handful of ticks for intervals like 0.1 (the
+        # accumulated sum diverges from k * 0.1 at tick 6). on_grid pins
+        # every tick to the absolute anchor + k * interval product.
+        ticks = []
+        Timer(sim, 0.1, lambda: ticks.append(sim.now), on_grid=True)
+        sim.run(until=100.05)
+        assert len(ticks) == 1000
+        anchor = ticks[0]
+        for k, t in enumerate(ticks):
+            assert t == anchor + k * 0.1
+
+    def test_legacy_timer_accumulates_float_drift(self, sim):
+        # Pins the default (accumulating) behaviour: the golden scenario
+        # digests depend on it, so it must not silently change.
+        ticks = []
+        Timer(sim, 0.1, lambda: ticks.append(sim.now))
+        sim.run(until=1.05)
+        assert len(ticks) == 10
+        anchor = ticks[0]
+        assert any(t != anchor + k * 0.1 for k, t in enumerate(ticks))
+
+    def test_on_grid_interval_change_reanchors(self, sim):
+        ticks = []
+        timer = Timer(sim, 1.0, lambda: ticks.append(sim.now), on_grid=True)
+        sim.schedule(1.5, lambda: setattr(timer, "interval", 2.0))
+        sim.run(until=6.0)
+        # The tick at 2.0 was already scheduled when the interval
+        # changed; it becomes the new grid anchor.
+        assert ticks == [1.0, 2.0, 4.0, 6.0]
 
 
 class TestEventOrdering:
