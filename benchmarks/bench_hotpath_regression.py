@@ -40,7 +40,7 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 def test_hotpath_regression(once):
     if SMOKE:
         payload = once(run_hotpath_bench, queries=4_000, packets=4_000,
-                       e2e_packets=6_000)
+                       e2e_packets=6_000, e2e_repeats=2)
     else:
         payload = once(run_hotpath_bench, queries=20_000, packets=20_000)
         write_results(RESULTS_PATH, payload)
@@ -96,5 +96,25 @@ def test_hotpath_regression(once):
         f"event amplification regressed: "
         f"{e2e['events_per_packet']:.2f} events/packet")
 
+    # GREEN-steady controller cell: on a healthy datapath the control
+    # loop must never leave GREEN (no voter flaps), drop nothing, and
+    # — off shared CI runners — cost under its pinned ceiling.
+    ctrl = payload["controller"]
+    print(format_table(
+        "Hot path — GREEN-steady controller overhead (end-to-end)",
+        ("packets", "watchdog-only", "controlled", "overhead", "state"),
+        [(ctrl["packets"], f"{ctrl['plain_best_pps']:,.0f}/s",
+          f"{ctrl['controlled_best_pps']:,.0f}/s",
+          f"{ctrl['overhead_ratio'] * 100:.1f}%",
+          ctrl["controller_state"])]))
+    assert ctrl["controller_state"] == "green", (
+        f"controller left GREEN on a healthy datapath: "
+        f"{ctrl['controller_state']}")
+    assert ctrl["control_transitions"] == 0
+    assert ctrl["delivered"] == ctrl["packets"]
     if not SMOKE:
+        assert ctrl["overhead_ratio"] < ctrl["ceiling"], (
+            f"GREEN-steady controller overhead "
+            f"{ctrl['overhead_ratio'] * 100:.1f}% >= "
+            f"{ctrl['ceiling'] * 100:.0f}%")
         assert RESULTS_PATH.exists()

@@ -22,6 +22,7 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Optional
 
+from repro.control.spec import ControlSpec
 from repro.experiments.scenario import ScenarioConfig
 from repro.faults.spec import FaultPlan
 from repro.obs.session import TraceConfig
@@ -99,6 +100,11 @@ class ScenarioSpec:
     #: from the fields above. Omitted from the payload when ``None`` so
     #: legacy specs keep their historical content hashes.
     topology: Optional[TopologySpec] = None
+    #: Adaptive control plane (repro.control). ``None`` — the static
+    #: configuration every pre-control spec ran — is omitted from the
+    #: payload so legacy specs keep their historical content hashes; a
+    #: spec with neither controller nor steering normalizes to ``None``.
+    control: Optional[ControlSpec] = None
 
     def __post_init__(self) -> None:
         if self.zhuge_flow_mask is not None:
@@ -106,6 +112,8 @@ class ScenarioSpec:
                                tuple(bool(b) for b in self.zhuge_flow_mask))
         if self.faults is not None and not self.faults.faults:
             object.__setattr__(self, "faults", None)
+        if self.control is not None and not self.control.enabled:
+            object.__setattr__(self, "control", None)
 
     def to_config(self) -> ScenarioConfig:
         """Build the live :class:`ScenarioConfig`, materializing the trace."""
@@ -140,6 +148,12 @@ class ScenarioSpec:
             del payload["topology"]
         else:
             payload["topology"] = self.topology.as_dict()
+        # And for the control plane: absent means "static configuration"
+        # and hashes exactly like a pre-control-layer spec.
+        if payload["control"] is None:
+            del payload["control"]
+        else:
+            payload["control"] = self.control.as_dict()
         payload["trace"] = self.trace.as_dict()
         return payload
 
@@ -159,6 +173,9 @@ class ScenarioSpec:
         topology = payload.get("topology")
         if topology is not None:
             payload["topology"] = TopologySpec.from_dict(topology)
+        control = payload.get("control")
+        if control is not None:
+            payload["control"] = ControlSpec.from_dict(control)
         return cls(**payload)
 
     def content_hash(self) -> str:

@@ -89,6 +89,11 @@ class ScenarioSummary:
     fault_log: list[tuple] = field(default_factory=list)
     #: (time, state, reason) AP watchdog transitions; empty without one.
     watchdog_transitions: list[tuple] = field(default_factory=list)
+    #: (time, ap, state, reason) controller transitions; empty without
+    #: a control plane.
+    control_transitions: list[tuple] = field(default_factory=list)
+    #: (time, client, old_ap, new_ap) completed steering moves.
+    steering_moves: list[tuple] = field(default_factory=list)
 
     @classmethod
     def from_result(cls, result, spec: ScenarioSpec) -> "ScenarioSummary":
@@ -101,7 +106,11 @@ class ScenarioSummary:
                                      for p in result.prediction_pairs],
                    fault_log=[tuple(entry) for entry in result.fault_log],
                    watchdog_transitions=[tuple(entry) for entry
-                                         in result.watchdog_transitions])
+                                         in result.watchdog_transitions],
+                   control_transitions=[tuple(entry) for entry
+                                        in result.control_transitions],
+                   steering_moves=[tuple(entry) for entry
+                                   in result.steering_moves])
 
     # Mirror the ScenarioResult conveniences so migrated drivers read
     # summaries exactly as they read results.
@@ -130,6 +139,12 @@ class ScenarioSummary:
         if self.watchdog_transitions:
             payload["watchdog_transitions"] = [
                 list(entry) for entry in self.watchdog_transitions]
+        if self.control_transitions:
+            payload["control_transitions"] = [
+                list(entry) for entry in self.control_transitions]
+        if self.steering_moves:
+            payload["steering_moves"] = [
+                list(entry) for entry in self.steering_moves]
         return payload
 
     @classmethod
@@ -145,7 +160,13 @@ class ScenarioSummary:
                               in payload.get("fault_log", [])],
                    watchdog_transitions=[
                        tuple(entry) for entry
-                       in payload.get("watchdog_transitions", [])])
+                       in payload.get("watchdog_transitions", [])],
+                   control_transitions=[
+                       tuple(entry) for entry
+                       in payload.get("control_transitions", [])],
+                   steering_moves=[
+                       tuple(entry) for entry
+                       in payload.get("steering_moves", [])])
 
 
 def summary_lines(label: str, summary: ScenarioSummary) -> list[str]:

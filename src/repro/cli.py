@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.campaign import (ProgressPrinter, ResultCache, ScenarioSpec,
                             TraceSpec, run_campaign, run_specs,
                             summary_lines)
+from repro.control import ControlSpec
 from repro.faults.spec import FaultPlan
 from repro.obs.session import FORMATS, TraceConfig
 from repro.experiments.drivers.format import format_table, mbps, pct
@@ -70,6 +71,13 @@ def _fault_plan_from_args(args) -> FaultPlan | None:
     return FaultPlan.parse(text, seed=getattr(args, "fault_seed", 1))
 
 
+def _control_from_args(args) -> ControlSpec | None:
+    """``--control`` enables the full control plane with defaults."""
+    if not getattr(args, "control", False):
+        return None
+    return ControlSpec.default()
+
+
 def _topology_from_args(args) -> TopologySpec | None:
     path = getattr(args, "topology", None)
     if not path:
@@ -94,6 +102,7 @@ def _spec_from_args(args, ap_mode: str,
         trace_config=_trace_config_from_args(args, out=trace_out),
         faults=_fault_plan_from_args(args),
         topology=_topology_from_args(args),
+        control=_control_from_args(args),
     )
 
 
@@ -185,6 +194,12 @@ def cmd_campaign(args) -> int:
         for trace, scheme in grid:
             specs.extend(scheme_specs(trace, SCHEMES_BY_NAME[scheme],
                                       args.duration, seeds))
+
+    if getattr(args, "control", False):
+        # The control spec is part of each spec (and its content hash),
+        # so controlled cells never alias static ones in the cache.
+        specs = [dataclasses.replace(spec, control=ControlSpec.default())
+                 for spec in specs]
 
     topology = _topology_from_args(args)
     if topology is not None:
@@ -301,6 +316,52 @@ def cmd_resilience(args) -> int:
     return 0
 
 
+def cmd_control(args) -> int:
+    from repro.experiments.drivers import control as driver
+    seeds = tuple(int(s) for s in _csv(args.seeds))
+    cache = _resolve_cache_args(args)
+    rows, fleet_rows = driver.fig_control(
+        seeds=seeds,
+        duration=(args.duration if args.duration is not None
+                  else driver.DURATION),
+        storm=args.storm or driver.STORM,
+        fleet=not args.no_fleet,
+        fleet_storm=args.fleet_storm or driver.FLEET_STORM,
+        fleet_duration=(args.fleet_duration
+                        if args.fleet_duration is not None
+                        else driver.FLEET_DURATION),
+        jobs=args.jobs, cache=cache,
+        timeout=args.timeout, retries=args.retries)
+
+    def _at(value):
+        return f"{value:.2f}s" if value is not None else "-"
+
+    print(format_table(
+        f"control — static vs controller over seeds {seeds} "
+        f"(pooled fault windows)",
+        ("scheme", "steady P50", "fault P50", "fault P99", "samples",
+         "transitions", "first react"),
+        [(r.scheme, f"{r.steady_p50_ms:.0f} ms", f"{r.fault_p50_ms:.0f} ms",
+          f"{r.fault_p99_ms:.0f} ms", str(r.fault_samples),
+          str(r.transitions), _at(r.first_reaction)) for r in rows]))
+    if fleet_rows:
+        print(format_table(
+            "control — fleet steering on the two-AP roaming topology",
+            ("scheme", "fault P50", "fault P99", "samples", "moves"),
+            [(r.scheme, f"{r.fault_p50_ms:.0f} ms",
+              f"{r.fault_p99_ms:.0f} ms", str(r.fault_samples),
+              str(r.moves)) for r in fleet_rows]))
+    _maybe_prune_cache(args, cache)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"control": [dataclasses.asdict(r) for r in rows],
+                       "fleet": [dataclasses.asdict(r)
+                                 for r in fleet_rows]},
+                      handle, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     if args.scenario:
         return _cmd_trace_events(args)
@@ -401,7 +462,8 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--trace-out", default=None,
                        help="write an event trace of the run here "
                             "(Chrome trace_event JSON, Perfetto-openable)")
-    group.add_argument("--trace-events", default="queue,link,ap,cca,fault",
+    group.add_argument("--trace-events",
+                       default="queue,link,ap,cca,fault,control",
                        help="comma list of event categories to trace")
     group.add_argument("--trace-format", default="chrome",
                        choices=FORMATS)
@@ -421,6 +483,15 @@ def _add_fault_options(parser: argparse.ArgumentParser) -> None:
                             "ap_reset/reset, roam)")
     group.add_argument("--fault-seed", type=int, default=1,
                        help="seed for stochastic faults (loss bursts)")
+
+
+def _add_control_options(parser: argparse.ArgumentParser) -> None:
+    """Adaptive control plane (repro.control)."""
+    group = parser.add_argument_group("adaptive control (repro.control)")
+    group.add_argument("--control", action="store_true",
+                       help="attach the adaptive per-AP controller (and, "
+                            "on multi-AP topologies, the fleet steering "
+                            "daemon) with default settings")
 
 
 def _add_topology_options(parser: argparse.ArgumentParser) -> None:
@@ -447,6 +518,7 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     _add_topology_options(parser)
     _add_obs_options(parser)
     _add_fault_options(parser)
+    _add_control_options(parser)
 
 
 def _add_campaign_exec_args(parser: argparse.ArgumentParser) -> None:
@@ -516,6 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="write one event-trace artifact per "
                                       "cell into this directory")
     _add_topology_options(campaign_parser)
+    _add_control_options(campaign_parser)
     _add_campaign_exec_args(campaign_parser)
     campaign_parser.set_defaults(func=cmd_campaign)
 
@@ -537,6 +610,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_exec_args(resilience_parser)
     resilience_parser.set_defaults(func=cmd_resilience)
 
+    control_parser = sub.add_parser(
+        "control",
+        help="fault-storm comparison: static Zhuge vs the adaptive "
+             "controller, plus fleet steering on a two-AP topology "
+             "(repro.control)")
+    control_parser.add_argument("--seeds", default="1,2",
+                                help="comma list of seeds per scheme")
+    control_parser.add_argument("--duration", type=float, default=None,
+                                help="per-AP storm run length")
+    control_parser.add_argument("--storm", default=None,
+                                help="per-AP fault-plan DSL override")
+    control_parser.add_argument("--no-fleet", action="store_true",
+                                help="skip the two-AP steering comparison")
+    control_parser.add_argument("--fleet-storm", default=None,
+                                help="fleet fault-plan DSL override")
+    control_parser.add_argument("--fleet-duration", type=float,
+                                default=None)
+    control_parser.add_argument("--out", default=None,
+                                help="write rows JSON here")
+    _add_campaign_exec_args(control_parser)
+    control_parser.set_defaults(func=cmd_control)
+
     trace_parser = sub.add_parser(
         "trace",
         help="record an event trace of a scenario (with a positional "
@@ -550,7 +645,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--duration", type=float, default=60.0)
     trace_parser.add_argument("--seed", type=int, default=1)
     trace_parser.add_argument("--out", required=True)
-    trace_parser.add_argument("--events", default="queue,link,ap,cca,fault",
+    trace_parser.add_argument("--events",
+                              default="queue,link,ap,cca,fault,control",
                               help="comma list of event categories "
                                    "(event-trace mode)")
     trace_parser.add_argument("--format", default="chrome",

@@ -1,0 +1,27 @@
+"""repro.control — the adaptive control plane over the Zhuge loop.
+
+Two layers (ROADMAP item 3, the wanctl pattern):
+
+* :class:`~repro.control.controller.ZhugeController` — a per-AP
+  GREEN/YELLOW/SOFT_RED/RED state machine with multi-signal voting and
+  dwell hysteresis, retuning live Zhuge parameters per state.
+* :class:`~repro.control.steering.SteeringDaemon` — a fleet loop that
+  continuously re-homes RTC flows to the healthiest AP on multi-AP
+  topologies.
+
+Both are configured by the pure-data
+:class:`~repro.control.spec.ControlSpec` embedded in
+:class:`~repro.campaign.spec.ScenarioSpec`.
+"""
+
+from repro.control.controller import ZhugeController
+from repro.control.spec import (CONTROL_STATES, GREEN, RED, SOFT_RED, YELLOW,
+                                ControllerConfig, ControlPolicy, ControlSpec,
+                                SteeringConfig)
+from repro.control.steering import SteeringDaemon
+
+__all__ = [
+    "CONTROL_STATES", "GREEN", "YELLOW", "SOFT_RED", "RED",
+    "ControlPolicy", "ControllerConfig", "SteeringConfig", "ControlSpec",
+    "ZhugeController", "SteeringDaemon",
+]

@@ -82,6 +82,12 @@ class ZhugeAP:
         #: Trace-track prefix; multi-AP topologies set this to the AP's
         #: node name so each AP gets its own track family.
         self.track_name = "ap"
+        #: Active :class:`~repro.control.spec.ControlPolicy`; ``None``
+        #: until :meth:`apply_policy`. Flows registered later inherit it.
+        self.policy = None
+        # Downlink capacity before any policy clamp; restored when a
+        # policy without a queue_limit is applied.
+        self._native_queue_capacity: Optional[int] = None
 
     # -- flow registration (the AP's configurable IP list) -------------------
 
@@ -111,8 +117,11 @@ class ZhugeAP:
         self._uplink_updaters[flow.reversed()] = updater
         if self.trace is not None:
             updater.enable_trace(self.trace, self._flow_track(flow))
-        # A flow registered while the AP is degraded starts degraded too.
+        # A flow registered while the AP is degraded starts degraded too,
+        # and one registered under an active control policy inherits it.
         updater.passthrough = self.passthrough
+        if self.policy is not None:
+            self._retune_updater(updater, self.policy)
 
     def enable_trace(self, bus) -> None:
         """Attach a trace bus to the AP and all registered updaters."""
@@ -155,6 +164,80 @@ class ZhugeAP:
             updater.passthrough = False
         for updater in self._inband.values():
             updater.passthrough = False
+
+    # -- adaptive control (repro.control) ------------------------------------
+
+    def apply_policy(self, policy) -> None:
+        """Retune the live Zhuge parameters to ``policy``.
+
+        The :class:`~repro.control.controller.ZhugeController` calls
+        this on every state transition. All knobs take effect on the
+        next packet: sliding windows re-expire against their new
+        horizon, the token bank is trimmed to the new cap, the downlink
+        queue is clamped (head-shedding any excess backlog now), and
+        the in-band feedback timer re-anchors at its already-scheduled
+        tick. ``passthrough`` rides the existing watchdog
+        demote/promote paths so RED is exactly the PR 4 fallback.
+        """
+        self.policy = policy
+        self.window = policy.window
+        self._apply_queue_limit(policy)
+        self._retune_teller(self.fortune_teller, policy)
+        for teller in self._flow_tellers.values():
+            self._retune_teller(teller, policy)
+        for updater in self._oob.values():
+            self._retune_updater(updater, policy)
+        for updater in self._inband.values():
+            self._retune_updater(updater, policy)
+        if policy.passthrough and not self.passthrough:
+            self._on_watchdog_demote("policy")
+        elif not policy.passthrough and self.passthrough:
+            self._on_watchdog_promote("policy")
+
+    def _apply_queue_limit(self, policy) -> None:
+        """Clamp (or restore) the downlink queue per ``policy``.
+
+        A full queue at a crashed link rate is seconds of committed
+        tail latency; for RTC traffic the stale head packets are worth
+        less than the loss signal their drop produces, so the clamp
+        head-trims immediately instead of waiting for the drain.
+        """
+        queue = self.downlink_queue
+        if queue is None or not hasattr(queue, "trim_head"):
+            return
+        if policy.queue_limit is None:
+            if self._native_queue_capacity is not None:
+                queue.capacity_bytes = self._native_queue_capacity
+                self._native_queue_capacity = None
+            return
+        if self._native_queue_capacity is None:
+            self._native_queue_capacity = queue.capacity_bytes
+        limit = max(1, int(self._native_queue_capacity * policy.queue_limit))
+        queue.capacity_bytes = limit
+        queue.trim_head(limit, "control-trim")
+
+    @staticmethod
+    def _retune_teller(teller: FortuneTeller, policy) -> None:
+        teller.window = policy.window
+        teller.tx_rate.window = policy.window
+        teller.tx_rate_long.window = policy.window * 10
+        teller.dequeue_intervals.window = policy.window
+        teller.burst_correction = policy.burst_correction
+
+    @staticmethod
+    def _retune_updater(updater, policy) -> None:
+        if isinstance(updater, OutOfBandFeedbackUpdater):
+            updater.window = policy.window
+            updater.delta_history.window = policy.window
+            updater.max_extra_delay = policy.max_extra_delay
+            bank = updater.token_history
+            bank.ttl = policy.token_ttl
+            bank.max_entries = policy.token_bank_cap
+            while len(bank) > bank.max_entries:
+                bank.popleft()
+                bank.capped += 1
+        else:
+            updater._timer.interval = policy.feedback_interval
 
     def reset_state(self) -> None:
         """Simulate an AP restart / client handover: wipe learned state.

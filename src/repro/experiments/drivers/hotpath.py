@@ -176,7 +176,9 @@ def bench_datapath(flows: int, packets: int = 20_000) -> dict:
 
 
 def bench_end_to_end(packets: int = 30_000, flows: int = 4,
-                     link_rate_bps: float = 300e6) -> dict:
+                     link_rate_bps: float = 300e6,
+                     watchdog: bool = False,
+                     control: bool = False) -> dict:
     """Wall-clock packets/sec of the full datapath through the event loop.
 
     A paced sender pushes ``packets`` data packets (split across
@@ -212,9 +214,33 @@ def bench_end_to_end(packets: int = 30_000, flows: int = 4,
     ap.forward_downlink = wifi.send
     delivered = 0
 
+    controller = None
+    if control:
+        # The GREEN-steady cost cell: a ZhugeController riding a healthy
+        # datapath — vote/check timer, drop hook, and the watchdog
+        # sensor it attaches.
+        from repro.control import ControllerConfig, ZhugeController
+        controller = ZhugeController(sim, ap, ControllerConfig())
+    elif watchdog:
+        # The PR 4 static safety configuration: watchdog sensing per
+        # packet, no control loop. The baseline the controller cell's
+        # overhead is measured against, since the controller reuses
+        # this watchdog as its sensor.
+        ap.enable_watchdog()
+    sensing = control or watchdog
+
     def client_deliver(packet):
         nonlocal delivered
         delivered += 1
+        if sensing:
+            ap.on_wireless_delivery(packet)
+            if delivered >= packets:
+                # The periodic control/watchdog timers would keep the
+                # event queue alive forever; the run ends with the last
+                # delivery.
+                if controller is not None:
+                    controller.stop()
+                ap.watchdog.stop()
         ack = Packet(packet.flow.reversed(), ACK_SIZE, PacketKind.ACK,
                      ack=packet.seq)
         ack_line.send(ack)
@@ -243,7 +269,7 @@ def bench_end_to_end(packets: int = 30_000, flows: int = 4,
     start = time.perf_counter()
     sim.run()
     elapsed = time.perf_counter() - start
-    return {
+    result = {
         "packets": packets,
         "flows": flows,
         "delivered": delivered,
@@ -253,16 +279,56 @@ def bench_end_to_end(packets: int = 30_000, flows: int = 4,
         "events_per_sec": (sim.events_processed / elapsed
                            if elapsed > 0 else float("inf")),
     }
+    if controller is not None:
+        result["controller_state"] = controller.state
+        result["control_transitions"] = len(controller.transitions)
+    return result
+
+
+def bench_end_to_end_controller(packets: int = 30_000, flows: int = 4,
+                                repeats: int = 5) -> dict:
+    """GREEN-steady controller overhead on the end-to-end datapath.
+
+    Best-of-``repeats`` packets/sec of a
+    :class:`~repro.control.controller.ZhugeController`-managed AP
+    against the PR 4 static safety configuration (watchdog enabled, no
+    control loop) — the baseline whose watchdog sensor the controller
+    reuses, so the delta is the control loop itself: the vote/check
+    timer, the drop hook, and policy bookkeeping. The controller must
+    stay GREEN for the whole run (a healthy link must not trip the
+    voters) and its steady-state cost is pinned under ``ceiling``.
+    """
+    plain_best = max(
+        bench_end_to_end(packets, flows, watchdog=True)["packets_per_sec"]
+        for _ in range(repeats))
+    runs = [bench_end_to_end(packets, flows, control=True)
+            for _ in range(repeats)]
+    controlled_best = max(run["packets_per_sec"] for run in runs)
+    return {
+        "packets": packets,
+        "flows": flows,
+        "repeats": repeats,
+        "ceiling": 0.03,
+        "plain_best_pps": plain_best,
+        "controlled_best_pps": controlled_best,
+        "overhead_ratio": plain_best / controlled_best - 1.0,
+        "controller_state": runs[-1]["controller_state"],
+        "control_transitions": runs[-1]["control_transitions"],
+        "delivered": runs[-1]["delivered"],
+    }
 
 
 def run_hotpath_bench(queries: int = 20_000, packets: int = 20_000,
                       flow_counts=(1, 10, 100),
-                      e2e_packets: int = 30_000) -> dict:
+                      e2e_packets: int = 30_000,
+                      e2e_repeats: int = 5) -> dict:
     return {
         "micro": bench_estimator_micro(queries=queries),
         "datapath": [bench_datapath(flows, packets=packets)
                      for flows in flow_counts],
         "end_to_end": bench_end_to_end(packets=e2e_packets),
+        "controller": bench_end_to_end_controller(packets=e2e_packets,
+                                                  repeats=e2e_repeats),
     }
 
 

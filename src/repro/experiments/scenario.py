@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.control.spec import ControlSpec
 from repro.faults.spec import FaultPlan
 from repro.obs.session import TraceConfig
 from repro.topology.builder import (FlowResult, ScenarioResult,
@@ -75,6 +76,11 @@ class ScenarioConfig:
     #: the scenario fields keep supplying protocol, trace, and timing
     #: defaults.
     topology: Optional[TopologySpec] = None
+    #: Adaptive control plane (repro.control). ``None`` — the legacy
+    #: default — runs the static configuration; a spec attaches a
+    #: per-AP :class:`~repro.control.controller.ZhugeController` and,
+    #: optionally, the fleet :class:`~repro.control.steering.SteeringDaemon`.
+    control: Optional[ControlSpec] = None
 
     def canonical_topology(self) -> TopologySpec:
         """The graph this config runs on (explicit or derived)."""

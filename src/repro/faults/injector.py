@@ -67,6 +67,22 @@ class FaultInjector:
         self._track = "faults"
         self._arm()
 
+    # -- read-only views -----------------------------------------------------
+
+    def active_faults(self, now: Optional[float] = None):
+        """Windowed faults whose [start, end) covers ``now``.
+
+        A pure view over the plan (no injector state is consulted), in
+        plan order, defaulting to the current simulation time. Lets the
+        control layer and tests assert that state transitions line up
+        with fault windows without parsing trace events. Instantaneous
+        faults (``ap_reset``) have no window and never appear.
+        """
+        if now is None:
+            now = self.sim.now
+        return tuple(fault for fault in self.plan.faults
+                     if fault.duration > 0 and fault.start <= now < fault.end)
+
     # -- scheduling ----------------------------------------------------------
 
     def _arm(self) -> None:

@@ -92,6 +92,17 @@ class EstimatorHealthWatchdog:
         self._error_sum.add(error)
         self._expire_errors(now)
 
+    def note_drop(self, pkt_id: int) -> None:
+        """Packet ``pkt_id`` was dropped before the air: forget it.
+
+        A prediction whose packet never flies is unfalsifiable — it can
+        neither join nor legitimately age into staleness. Left in the
+        open table it would read as "deliveries stopped" long after a
+        queue flush, so callers that drop packets deliberately (the
+        control layer's queue clamp) unregister them here.
+        """
+        self._open.pop(pkt_id, None)
+
     def notify_reset(self) -> None:
         """The estimators were just wiped — demote immediately.
 
@@ -113,6 +124,31 @@ class EstimatorHealthWatchdog:
         if not self._errors:
             return 0.0
         return self._error_sum.value() / len(self._errors)
+
+    def recent_errors(self) -> tuple[float, ...]:
+        """Windowed |predicted - actual| join errors, oldest first.
+
+        The same samples :meth:`_check` aggregates into ``mean_error``,
+        exposed raw so the control layer can compute tail quantiles
+        (P95) over the identical window.
+        """
+        self._expire_errors(self.sim.now)
+        return tuple(error for _, error in self._errors)
+
+    @property
+    def open_prediction_count(self) -> int:
+        """Predictions awaiting a delivery join (idle APs hold none)."""
+        return len(self._open)
+
+    @property
+    def stale(self) -> bool:
+        """True when deliveries have stopped joining predictions.
+
+        Staleness (a blackout, a dead client) is the stronger signal
+        than inaccuracy: the estimators are not merely off, they are
+        describing a link that no longer delivers at all.
+        """
+        return self._is_stale(self.sim.now)
 
     def _expire_errors(self, now: float) -> None:
         horizon = now - self.config.health_window

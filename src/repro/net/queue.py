@@ -216,6 +216,44 @@ class DropTailQueue:
         self._packets.clear()
         self._bytes = 0
 
+    def trim_head(self, limit_bytes: int, reason: str) -> int:
+        """Drop *head* packets until the backlog fits ``limit_bytes``.
+
+        The inverse of tail-dropping: the oldest packets are the stalest
+        ones, and for real-time traffic a stale packet delivered late is
+        worth less than the loss signal its drop produces. The control
+        layer uses this when a policy clamps the queue mid-backlog.
+        Returns the number dropped; stats and drop callbacks fire per
+        packet, exactly like an overflow drop.
+        """
+        dropped = 0
+        while self._packets and self._bytes > limit_bytes:
+            packet = self._packets.popleft()
+            self._bytes -= packet.size
+            self._drop(packet, reason)
+            dropped += 1
+        return dropped
+
+    def trim_aged(self, now: float, max_age: float, reason: str) -> int:
+        """Drop head packets that have waited longer than ``max_age``.
+
+        A sojourn ceiling for real-time traffic: once a packet has
+        queued past the bound it will arrive too late to matter, so it
+        is shed where it stands instead of consuming link time. Stops
+        at the first young-enough packet (FIFO order means everything
+        behind it is younger still). Returns the number dropped.
+        """
+        dropped = 0
+        while self._packets:
+            head = self._packets[0]
+            if head.enqueued_at is None or now - head.enqueued_at <= max_age:
+                break
+            self._packets.popleft()
+            self._bytes -= head.size
+            self._drop(head, reason)
+            dropped += 1
+        return dropped
+
     def drop_all(self, reason: str) -> int:
         """Drop every queued packet, firing stats and drop callbacks.
 

@@ -167,3 +167,21 @@ class TraceBus:
         if self.wants("fault"):
             self.emit("fault", "watchdog", track, severity=WARN,
                       state=state, reason=reason)
+
+    def control_state(self, track: str, state: str, reason: str) -> None:
+        if self.wants("control"):
+            self.emit("control", "state", track, severity=WARN,
+                      state=state, reason=reason)
+
+    def control_policy(self, track: str, state: str, window_s: float,
+                       passthrough: bool) -> None:
+        if self.wants("control"):
+            self.emit("control", "policy", track, state=state,
+                      window_s=window_s, passthrough=passthrough)
+
+    def control_steer(self, track: str, client: str, old_ap: str,
+                      new_ap: str, phase: str) -> None:
+        if self.wants("control"):
+            self.emit("control", "steer", track, severity=WARN,
+                      client=client, old_ap=old_ap, new_ap=new_ap,
+                      phase=phase)

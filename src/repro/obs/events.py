@@ -32,6 +32,9 @@ fault    window       kind, index, duration_s, target[, magnitude]
 fault    phase        kind, index, phase ("begin" / "end")
 fault    loss         pkt_id, direction (one per burst-loss drop)
 fault    watchdog     state, reason (AP health transitions)
+control  state        state, reason (controller state transitions)
+control  policy       state, window_s, passthrough (policy application)
+control  steer        client, old_ap, new_ap, phase ("begin"/"complete")
 ======== ============ ==================================================
 
 Tracks (the ``track`` field) name the emitting entity — a queue, a
@@ -51,7 +54,7 @@ ERROR = 40
 _SEVERITY_NAMES = {DEBUG: "DEBUG", INFO: "INFO", WARN: "WARN", ERROR: "ERROR"}
 
 #: Every category a probe may emit; TraceConfig validates against this.
-CATEGORIES = ("sim", "queue", "link", "ap", "cca", "fault")
+CATEGORIES = ("sim", "queue", "link", "ap", "cca", "fault", "control")
 
 
 def severity_name(severity: int) -> str:

@@ -88,6 +88,11 @@ class ScenarioResult:
     fault_log: list = field(default_factory=list)
     #: (time, state, reason) of every AP watchdog transition, in order.
     watchdog_transitions: list = field(default_factory=list)
+    #: (time, ap, state, reason) of every controller transition, merged
+    #: across APs in time order.
+    control_transitions: list = field(default_factory=list)
+    #: (time, client, old_ap, new_ap) of every completed steering move.
+    steering_moves: list = field(default_factory=list)
 
     @property
     def rtt(self) -> RttRecorder:
@@ -194,6 +199,13 @@ class TopologyBuilder:
         self.fault_injector = None
         if config.faults is not None and config.faults.faults:
             self._attach_faults(config.faults)
+        #: Per-AP adaptive controllers (repro.control), by AP node name.
+        self.controllers: dict[str, object] = {}
+        #: Fleet steering daemon; ``None`` unless the spec enables it.
+        self.steering = None
+        control = getattr(config, "control", None)
+        if control is not None and control.enabled:
+            self._attach_control(control)
 
     # -- edges ---------------------------------------------------------------
 
@@ -783,6 +795,33 @@ class TopologyBuilder:
             zhuge_by_node={name: rt.zhuge for name, rt in self.aps.items()},
             mover=self)
 
+    # -- adaptive control (repro.control) ------------------------------------
+
+    def _attach_control(self, control) -> None:
+        """Attach per-AP controllers and (optionally) fleet steering.
+
+        Runs after fault attachment on purpose: a watchdog armed by the
+        fault plan is adopted by the controller (which takes over its
+        demote/promote authority); APs without one get the controller
+        config's own watchdog.
+        """
+        from repro.control.controller import ZhugeController
+        from repro.control.steering import SteeringDaemon
+        bus = self.trace_session.bus if self.trace_session else None
+        if control.controller is not None:
+            for node in self.topology.nodes:
+                ap_rt = self.aps.get(node.name)
+                if ap_rt is None or ap_rt.zhuge is None:
+                    continue
+                self.controllers[node.name] = ZhugeController(
+                    self.sim, ap_rt.zhuge, control.controller,
+                    edge=self._ap_downlink_edge(node.name),
+                    trace=bus, track=f"{node.name}/control")
+        if control.steering is not None:
+            self.steering = SteeringDaemon(
+                self.sim, self, self.controllers, control.steering,
+                trace=bus)
+
     # -- run -----------------------------------------------------------------
 
     def run(self) -> ScenarioResult:
@@ -833,13 +872,27 @@ class TopologyBuilder:
         if zhuge is not None and zhuge.watchdog is not None:
             watchdog_transitions = list(zhuge.watchdog.transitions)
 
+        control_transitions = []
+        for name, controller in self.controllers.items():
+            controller.stop()
+            control_transitions.extend(
+                (t, name, state, reason)
+                for t, state, reason in controller.transitions)
+        control_transitions.sort(key=lambda entry: (entry[0], entry[1]))
+        steering_moves = []
+        if self.steering is not None:
+            self.steering.stop()
+            steering_moves = list(self.steering.moves)
+
         return ScenarioResult(config=config, flows=flows,
                               prediction_pairs=pairs,
                               events_processed=self.sim.events_processed,
                               ap_packets=ap_packets,
                               trace_session=self.trace_session,
                               fault_log=fault_log,
-                              watchdog_transitions=watchdog_transitions)
+                              watchdog_transitions=watchdog_transitions,
+                              control_transitions=control_transitions,
+                              steering_moves=steering_moves)
 
 
 class _NodeHandlerView:

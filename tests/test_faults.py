@@ -198,6 +198,46 @@ class TestWatchdog:
         assert dog.state == STATE_HEALTHY
         assert dog.transitions[-1][1:] == (STATE_HEALTHY, "recovered")
 
+    def test_redemote_after_promote_serves_full_dwell(self):
+        """Audit pin: a promotion clears both dwell clocks, so the next
+        demotion needs a *fresh* ``demote_after`` window — promote must
+        never inherit a stale ``_unhealthy_since`` and re-demote early.
+        """
+        sim = Simulator()
+        config = WatchdogConfig()
+        dog = EstimatorHealthWatchdog(sim, config)
+        dog.notify_reset()  # degraded at t=0
+        ids = iter(range(10_000))
+        feeding = {"on": True}
+
+        def feed():
+            if not feeding["on"]:
+                return
+            pkt = next(ids)
+            dog.note_prediction(pkt, 0.0)
+            dog.note_delivery(pkt)
+            sim.schedule(0.02, feed)
+
+        sim.schedule(0.1, feed)
+        relapse_at = 4.0
+
+        def relapse():
+            feeding["on"] = False
+            dog.note_prediction(99_999, 0.010)  # never delivered
+
+        sim.schedule(relapse_at, relapse)
+        sim.run(until=8.0)
+        promote_at = next(when for when, state, _ in dog.transitions
+                          if state == STATE_HEALTHY)
+        assert promote_at < relapse_at
+        redemote_at, state, reason = dog.transitions[-1]
+        assert (state, reason) == (STATE_DEGRADED, "stale")
+        # Staleness starts at relapse + stale_after; the demotion may
+        # fire no earlier than a full demote_after after that.
+        floor = relapse_at + config.stale_after + config.demote_after
+        ceiling = floor + 2 * config.check_interval
+        assert floor <= redemote_at <= ceiling
+
     def test_no_promotion_without_min_samples(self):
         sim = Simulator()
         config = WatchdogConfig(min_samples=1000)

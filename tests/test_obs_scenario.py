@@ -19,7 +19,7 @@ class TestTraceConfig:
         assert TraceConfig.parse_events("queue, ap,cca") == (
             "queue", "ap", "cca")
         assert TraceConfig.parse_events("") == (
-            "sim", "queue", "link", "ap", "cca", "fault")
+            "sim", "queue", "link", "ap", "cca", "fault", "control")
 
     def test_unknown_category_rejected(self):
         with pytest.raises(ValueError):
