@@ -15,7 +15,8 @@ from repro.campaign.runner import (CampaignError, CampaignResult, CellResult,
                                    CellTimeout, execute_spec, run_campaign,
                                    run_specs)
 from repro.campaign.spec import ScenarioSpec, TraceSpec, code_fingerprint
-from repro.campaign.summary import (FlowSummary, ScenarioSummary,
+from repro.campaign.summary import (FlowSummary, MergedSummary,
+                                    ScenarioSummary, merge_summaries,
                                     summary_lines)
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "CellResult",
     "CellTimeout",
     "FlowSummary",
+    "MergedSummary",
     "ProgressPrinter",
     "PruneStats",
     "ResultCache",
@@ -34,6 +36,7 @@ __all__ = [
     "code_fingerprint",
     "default_cache_root",
     "execute_spec",
+    "merge_summaries",
     "run_campaign",
     "run_specs",
     "summary_lines",

@@ -214,7 +214,8 @@ def run_campaign(specs: Sequence[ScenarioSpec], *,
                  retries: int = 1,
                  backoff_s: float = 0.25,
                  progress: Optional[Callable] = None,
-                 worker: Optional[Callable] = None) -> CampaignResult:
+                 worker: Optional[Callable] = None,
+                 consume: Optional[Callable] = None) -> CampaignResult:
     """Execute ``specs`` and return per-cell results in input order.
 
     ``jobs <= 1`` runs cells in this process (still cache-aware);
@@ -222,6 +223,16 @@ def run_campaign(specs: Sequence[ScenarioSpec], *,
     accepts ``None``/``True``/a directory/a :class:`ResultCache`.
     ``worker`` overrides the cell body (``worker(spec) -> summary``) —
     used by tests to inject failures; it must be picklable for pools.
+
+    ``consume`` turns the campaign into a stream: it is called once per
+    successful cell (``consume(cell)``, completion order, cache hits
+    included) while ``cell.summary`` is populated, after which the
+    summary is *released* — the returned :class:`CampaignResult` keeps
+    status/error/telemetry per cell but ``summary=None``. This bounds
+    peak memory to one in-flight summary plus whatever the consumer
+    retains, which is what lets a 1000-AP sharded city campaign stream
+    per-shard summaries into an incremental fleet merge instead of
+    holding every per-flow sample series at once.
     """
     specs = list(specs)
     store = resolve_cache(cache)
@@ -244,6 +255,9 @@ def run_campaign(specs: Sequence[ScenarioSpec], *,
         else:
             stats.ok += 1
         emit(EVENT_CACHED if cached else EVENT_OK, cell)
+        if consume is not None:
+            consume(cell)
+            cell.summary = None  # release the sample series
 
     def record_failure(cell: CellResult, error: str) -> bool:
         """Consume one attempt; True if the cell may still be retried."""

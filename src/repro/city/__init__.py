@@ -1,0 +1,38 @@
+"""City-scale topology generation and contention-domain-sharded runs.
+
+The subsystem has two halves:
+
+* :mod:`repro.city.gen` — a seeded random city-topology generator.
+  :class:`CityGenSpec` (AP count, layout preset, channel-reuse factor,
+  client-count distribution, roaming-mobility knobs) deterministically
+  emits an ordinary content-hashable
+  :class:`~repro.topology.spec.TopologySpec` — pure data, so generated
+  cities flow through the content-addressed campaign cache unchanged.
+
+* :mod:`repro.city.shard` + :mod:`repro.city.merge` — a partitioner
+  that cuts a large topology along its
+  :meth:`~repro.topology.spec.TopologySpec.contention_domains` (APs in
+  disjoint domains never contend), simulates the shards in parallel
+  campaign workers, and streams the per-shard summaries into an
+  incremental fleet merge (:class:`FleetAccumulator`) with a mergeable
+  delay-CDF sketch instead of holding per-packet state in memory.
+
+``python -m repro campaign --city <preset> --aps 1000`` is the CLI
+entry point; :func:`repro.experiments.drivers.city.run_city` is the
+library one.
+"""
+
+from repro.city.gen import CITY_PRESETS, CityGenSpec
+from repro.city.merge import DelayCdfSketch, FleetAccumulator, FleetSummary
+from repro.city.shard import ShardingError, ShardPlan, partition_topology
+
+__all__ = [
+    "CITY_PRESETS",
+    "CityGenSpec",
+    "DelayCdfSketch",
+    "FleetAccumulator",
+    "FleetSummary",
+    "ShardPlan",
+    "ShardingError",
+    "partition_topology",
+]

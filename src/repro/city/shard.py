@@ -1,0 +1,191 @@
+"""Partition a TopologySpec along its contention domains.
+
+Why contention domains are the safe cut: two APs interact *only*
+through shared airtime (a :class:`~repro.wireless.contention.ContentionDomain`
+per ``channel_group``) or through packets routed between their nodes.
+Every stochastic stream is forked by a spec-pinned label (node/edge
+``seed_label`` defaults are name-derived, flows carry explicit labels
+in generated cities), never by draw order, so components in disjoint
+domains evolve independently inside one simulator. Cutting between
+domains therefore changes nothing about any component's trajectory —
+simulating a shard alone is bit-identical to that shard's slice of the
+whole-city run (pinned by ``tests/test_city.py``).
+
+What gets stitched at the boundary: WAN-side infrastructure (nodes
+with no wireless edge — the core server, wired relays) is *replicated*
+into every shard that references it, together with its first-mile
+wired edges. Senders and per-flow WAN links carry no cross-flow state,
+so replication is exact, not an approximation.
+
+What refuses to shard: a wired edge directly coupling two wireless
+nodes of different domains (first-mile style AP-to-AP links) and a
+flow whose endpoints sit in different domains both *join* those
+domains into one atom — they shard together or not at all. A flow
+between two infrastructure nodes has no home shard and raises
+:class:`ShardingError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.spec import TopologySpec
+
+
+class ShardingError(ValueError):
+    """The topology cannot be cut along contention domains."""
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic decomposition of one topology.
+
+    ``shards`` are ordinary standalone TopologySpecs (each validates,
+    builds, and content-hashes like any other — shard cells cache
+    independently in the campaign result cache). ``domains`` is the
+    underlying contention-domain list and ``assignment[d]`` the shard
+    index of domain ``d``.
+    """
+
+    shards: tuple[TopologySpec, ...]
+    domains: tuple[tuple[str, ...], ...]
+    assignment: tuple[int, ...]
+
+    @property
+    def sharded(self) -> bool:
+        return len(self.shards) > 1
+
+
+def partition_topology(spec: TopologySpec,
+                       max_shard_aps: int = 32) -> ShardPlan:
+    """Cut ``spec`` into shards of at most ``max_shard_aps`` APs each.
+
+    Atoms (contention domains, merged when a flow or an AP-to-AP wired
+    edge couples them) are packed first-fit in declaration order, so
+    the plan is a pure function of (spec, max_shard_aps) — the same
+    city always produces the same shard specs and the same cache keys.
+    An atom larger than the budget becomes its own oversized shard
+    (domains are atomic: a wireless edge must never cross a shard
+    boundary). ``max_shard_aps <= 0`` means "one shard" — the plan then
+    contains the original spec unchanged.
+    """
+    domains = spec.contention_domains()
+    domain_of: dict[str, int] = {}
+    for d, group in enumerate(domains):
+        for name in group:
+            domain_of[name] = d
+    roles = {node.name: node.role for node in spec.nodes}
+
+    # -- atoms: union-find over domains --------------------------------------
+    parent = list(range(len(domains)))
+
+    def find(d: int) -> int:
+        while parent[d] != d:
+            parent[d] = parent[parent[d]]
+            d = parent[d]
+        return d
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    for edge in spec.edges:
+        if edge.wireless:
+            continue
+        da = domain_of.get(edge.src)
+        db = domain_of.get(edge.dst)
+        if da is not None and db is not None:
+            union(da, db)
+    for flow in spec.flows:
+        da = domain_of.get(flow.src)
+        db = domain_of.get(flow.dst)
+        if da is None and db is None:
+            raise ShardingError(
+                f"flow {flow.src}->{flow.dst} touches no contention "
+                f"domain (both endpoints are wired infrastructure); "
+                f"it has no home shard")
+        if da is not None and db is not None:
+            union(da, db)
+
+    atoms: dict[int, list[int]] = {}
+    for d in range(len(domains)):
+        atoms.setdefault(find(d), []).append(d)
+    atom_list = [atoms[root] for root in sorted(atoms)]
+
+    # -- first-fit packing under the AP budget -------------------------------
+    def atom_aps(atom: list[int]) -> int:
+        return sum(1 for d in atom for name in domains[d]
+                   if roles[name] == "ap")
+
+    assignment = [0] * len(domains)
+    if max_shard_aps <= 0:
+        shard_atoms = [[d for atom in atom_list for d in atom]] \
+            if atom_list else [[]]
+    else:
+        shard_atoms = []
+        load: list[int] = []
+        for atom in atom_list:
+            need = atom_aps(atom)
+            for s, used in enumerate(load):
+                if used + need <= max_shard_aps:
+                    shard_atoms[s].extend(atom)
+                    load[s] = used + need
+                    break
+            else:
+                shard_atoms.append(list(atom))
+                load.append(need)
+    for s, members in enumerate(shard_atoms):
+        for d in members:
+            assignment[d] = s
+
+    # -- materialize shard specs ---------------------------------------------
+    shards = []
+    for s, members in enumerate(shard_atoms):
+        included = {name for d in members for name in domains[d]}
+        # Stitch in WAN-side infrastructure: closure over edges whose
+        # other endpoint is a replicable (domain-free) node.
+        grew = True
+        while grew:
+            grew = False
+            for edge in spec.edges:
+                for near, far in ((edge.src, edge.dst),
+                                  (edge.dst, edge.src)):
+                    if (near in included and far not in included
+                            and far not in domain_of):
+                        included.add(far)
+                        grew = True
+        nodes = tuple(n for n in spec.nodes if n.name in included)
+        edges = tuple(e for e in spec.edges
+                      if e.src in included and e.dst in included)
+        flows = tuple(f for f in spec.flows
+                      if f.src in included and f.dst in included)
+        if not any(f.role == "rtc" for f in flows):
+            raise ShardingError(
+                f"shard {s} ({len(nodes)} nodes) contains no rtc flow; "
+                f"the builder cannot run it")
+        shards.append(TopologySpec(nodes=nodes, edges=edges, flows=flows,
+                                   version=spec.version))
+
+    # -- safety: nothing fell through the cut --------------------------------
+    placed_edges = sum(1 for e in spec.edges
+                       if any(e.src in {n.name for n in sh.nodes}
+                              and e.dst in {n.name for n in sh.nodes}
+                              for sh in shards))
+    if placed_edges != len(spec.edges):
+        missing = [e.name for e in spec.edges
+                   if not any(e.src in {n.name for n in sh.nodes}
+                              and e.dst in {n.name for n in sh.nodes}
+                              for sh in shards)]
+        raise ShardingError(
+            f"{len(missing)} edges cross shard boundaries ({missing[:5]}); "
+            f"the topology is not decomposable along contention domains")
+    placed_flows = sum(len(sh.flows) for sh in shards)
+    if placed_flows != len(spec.flows):
+        raise ShardingError(
+            f"{len(spec.flows) - placed_flows} flows span shard "
+            f"boundaries; the topology is not decomposable along "
+            f"contention domains")
+
+    return ShardPlan(shards=tuple(shards), domains=domains,
+                     assignment=tuple(assignment))

@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.campaign import (ProgressPrinter, ResultCache, ScenarioSpec,
                             TraceSpec, run_campaign, run_specs,
                             summary_lines)
+from repro.city import CITY_PRESETS, CityGenSpec
 from repro.control import ControlSpec
 from repro.faults.spec import FaultPlan
 from repro.obs.session import FORMATS, TraceConfig
@@ -171,7 +172,58 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_city_campaign(args) -> int:
+    """The ``campaign --city`` path: generate, shard, simulate, merge."""
+    from repro.experiments.drivers.city import CITY_DURATION, run_city
+
+    gen = CityGenSpec.for_preset(args.city, aps=args.aps,
+                                 seed=args.city_seed)
+    trace_config = None
+    if args.trace_dir:
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        trace_config = TraceConfig(
+            out=str(trace_dir / "city-trace.json"))
+    duration = args.duration if args.duration is not None else CITY_DURATION
+    progress = None if args.quiet else ProgressPrinter()
+    cache = _resolve_cache_args(args)
+    print(gen.describe())
+    result = run_city(gen, duration=duration, shard_aps=args.shard_aps,
+                      jobs=args.jobs, cache=cache, timeout=args.timeout,
+                      retries=args.retries, progress=progress,
+                      trace_config=trace_config,
+                      sample_budget=args.sample_budget)
+    fleet = result.fleet
+    print("\n".join(fleet.lines(f"fleet — {args.city}/{args.aps} APs")))
+    telemetry = result.campaign.progress
+    print(f"shards: {len(result.campaign.cells)} total — "
+          f"{telemetry.ok} computed, {telemetry.cached} cached, "
+          f"{telemetry.retries} retries in "
+          f"{result.campaign.wall_s:.1f}s")
+    _maybe_prune_cache(args, cache)
+    if args.out:
+        payload = {"gen": gen.as_dict(),
+                   "gen_hash": gen.content_hash(),
+                   "duration": duration,
+                   "fleet": fleet.as_dict(),
+                   "digest": fleet.digest(),
+                   "progress": telemetry.as_dict(),
+                   "wall_s": result.campaign.wall_s}
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.out}")
+    if args.assert_cached and telemetry.cached != len(result.campaign.cells):
+        print(f"--assert-cached: only {telemetry.cached}/"
+              f"{len(result.campaign.cells)} shards came from the cache")
+        return 1
+    return 0
+
+
 def cmd_campaign(args) -> int:
+    if args.city:
+        return cmd_city_campaign(args)
+    if args.duration is None:
+        args.duration = 30.0
     seeds = tuple(int(s) for s in _csv(args.seeds))
     if args.specs:
         payload = json.loads(open(args.specs).read())
@@ -413,7 +465,13 @@ def _cmd_trace_events(args) -> int:
 
 def cmd_topology(args) -> int:
     """Emit a multi-AP topology preset as TopologySpec JSON."""
-    if args.preset == "interference":
+    if args.preset == "generate":
+        gen = CityGenSpec.for_preset(args.city, aps=args.aps,
+                                     seed=args.city_seed)
+        spec = gen.build()
+        print(f"# {gen.describe()} "
+              f"[gen hash {gen.content_hash()[:16]}]", file=sys.stderr)
+    elif args.preset == "interference":
         spec = interference_topology(ap_mode=args.ap,
                                      queue_kind=args.queue,
                                      interferers=args.interferers)
@@ -572,7 +630,30 @@ def build_parser() -> argparse.ArgumentParser:
                                       "(see drivers/traces_eval.py)")
     campaign_parser.add_argument("--seeds", default="1,2",
                                  help="comma list of seeds per cell")
-    campaign_parser.add_argument("--duration", type=float, default=30.0)
+    campaign_parser.add_argument("--duration", type=float, default=None,
+                                 help="simulated seconds per cell "
+                                      "(default 30, or 20 with --city)")
+    city_group = campaign_parser.add_argument_group(
+        "city-scale fleets (repro.city)")
+    city_group.add_argument("--city", default=None,
+                            choices=sorted(CITY_PRESETS),
+                            help="generate a seeded city of this layout "
+                                 "preset, shard it along contention "
+                                 "domains, and report fleet-wide delay "
+                                 "percentiles (replaces the trace/scheme "
+                                 "grid)")
+    city_group.add_argument("--aps", type=int, default=100,
+                            help="AP count of the generated city")
+    city_group.add_argument("--city-seed", type=int, default=1,
+                            help="generator seed (same seed, same city)")
+    city_group.add_argument("--shard-aps", type=int, default=32,
+                            help="max APs per shard (<=0: run the city "
+                                 "as one unsharded cell)")
+    city_group.add_argument("--sample-budget", type=int,
+                            default=2_000_000,
+                            help="max pooled delay samples kept exact; "
+                                 "beyond it fleet percentiles come from "
+                                 "the mergeable CDF sketch (~2%% error)")
     campaign_parser.add_argument("--specs", default=None,
                                  help="JSON file with a list of raw "
                                       "ScenarioSpec dicts (overrides the "
@@ -659,8 +740,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     topology_parser = sub.add_parser(
         "topology",
-        help="emit a multi-AP TopologySpec JSON preset for --topology")
-    topology_parser.add_argument("preset", choices=TOPOLOGY_PRESETS)
+        help="emit a multi-AP TopologySpec JSON preset for --topology "
+             "('generate' emits a seeded repro.city topology)")
+    topology_parser.add_argument("preset",
+                                 choices=TOPOLOGY_PRESETS + ("generate",))
+    topology_parser.add_argument("--city", default="grid",
+                                 choices=sorted(CITY_PRESETS),
+                                 help="city layout preset "
+                                      "(generate preset)")
+    topology_parser.add_argument("--aps", type=int, default=100,
+                                 help="AP count (generate preset)")
+    topology_parser.add_argument("--city-seed", type=int, default=1,
+                                 help="generator seed (generate preset)")
     topology_parser.add_argument("--ap", default="zhuge", choices=AP_MODES,
                                  help="optimization mode of the serving AP")
     topology_parser.add_argument("--queue", default="fq_codel",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.obs.events import TraceEvent, severity_name
 
@@ -41,23 +41,34 @@ _DURATIONS = {("link", "txop"): "airtime_s",
               ("fault", "window"): "duration_s"}
 
 
-def event_to_dict(event: TraceEvent) -> dict:
-    """Flat JSONL record for one event."""
-    return {"t": event.time, "cat": event.category, "name": event.name,
-            "track": event.track, "sev": severity_name(event.severity),
-            **event.args}
+def event_to_dict(event: TraceEvent,
+                  tag: Optional[str] = None) -> dict:
+    """Flat JSONL record for one event.
+
+    ``tag`` labels every record of a multi-cell artifact (e.g. the
+    shard index of a sharded city campaign) so merged streams stay
+    attributable after concatenation.
+    """
+    record = {"t": event.time, "cat": event.category, "name": event.name,
+              "track": event.track, "sev": severity_name(event.severity),
+              **event.args}
+    if tag:
+        record["tag"] = tag
+    return record
 
 
-def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+def events_to_jsonl(events: Iterable[TraceEvent],
+                    tag: Optional[str] = None) -> str:
     """One compact JSON object per line."""
-    return "\n".join(json.dumps(event_to_dict(e), sort_keys=True)
+    return "\n".join(json.dumps(event_to_dict(e, tag=tag), sort_keys=True)
                      for e in events)
 
 
-def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> Path:
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path,
+                tag: Optional[str] = None) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    text = events_to_jsonl(events)
+    text = events_to_jsonl(events, tag=tag)
     path.write_text(text + "\n" if text else "")
     return path
 

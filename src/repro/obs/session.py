@@ -43,6 +43,12 @@ class TraceConfig:
     audit: bool = True          # run the prediction auditor
     out: Optional[str] = None   # write the trace artifact here after a run
     fmt: str = "chrome"         # "chrome" | "jsonl"
+    #: Artifact label for multi-cell runs (e.g. ``shard003`` in a
+    #: sharded city campaign): becomes the Chrome-trace process name
+    #: suffix / a ``tag`` field on every JSONL record, and is appended
+    #: to ``out`` (before the extension) so per-shard artifacts never
+    #: overwrite each other.
+    tag: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "events",
@@ -67,6 +73,10 @@ class TraceConfig:
     def as_dict(self) -> dict:
         payload = asdict(self)
         payload["events"] = list(self.events)
+        # Omitted when None so untagged configs (every pre-city spec)
+        # keep their historical content hashes and cache entries.
+        if payload["tag"] is None:
+            del payload["tag"]
         return payload
 
     @classmethod
@@ -102,9 +112,15 @@ class TraceSession:
         if not out:
             return None
         fmt = fmt or self.config.fmt
+        tag = self.config.tag
+        if tag:
+            path = Path(out)
+            out = str(path.with_name(
+                f"{path.stem}-{tag}{path.suffix or ''}"))
         if fmt == "jsonl":
-            return write_jsonl(self.events, out)
-        return write_chrome_trace(self.events, out)
+            return write_jsonl(self.events, out, tag=tag)
+        process = f"repro-sim:{tag}" if tag else "repro-sim"
+        return write_chrome_trace(self.events, out, process_name=process)
 
     # -- failure handling ----------------------------------------------------
 

@@ -164,6 +164,13 @@ class FlowSpec:
     src_port: Optional[int] = None
     dst_port: Optional[int] = None
     period: Optional[float] = None
+    #: RNG fork label for this flow's stochastic state (the video
+    #: encoder's frame-size stream). ``None`` -> ``"enc-<build index>"``,
+    #: the historical per-run counter. Generated city topologies pin an
+    #: explicit label per flow so a flow's RNG stream is a function of
+    #: the spec alone — the property that makes a decomposable topology
+    #: simulate bit-identically whole or shard-by-shard.
+    seed_label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.role not in FLOW_ROLES:
@@ -227,6 +234,63 @@ class TopologySpec:
 
     def aps(self) -> tuple[NodeSpec, ...]:
         return tuple(n for n in self.nodes if n.role == "ap")
+
+    # -- contention structure ------------------------------------------------
+
+    def contention_domains(self) -> tuple[tuple[str, ...], ...]:
+        """Maximal groups of nodes coupled through the wireless medium.
+
+        Two nodes land in the same domain when they are endpoints of one
+        wireless edge (a client and its AP always contend for the same
+        airtime, and ``enabled=False`` roam-target edges count — a roam
+        would couple them mid-run), or when their wireless edges share a
+        ``channel_group`` (the builder materializes one
+        :class:`~repro.wireless.contention.ContentionDomain` per group,
+        so every edge of a group consumes the same airtime budget).
+
+        Nodes with no wireless edge at all (WAN-side servers, wired
+        relays) are *infrastructure*: they belong to no domain and may
+        be replicated freely, which is exactly what the city sharder
+        (:mod:`repro.city.shard`) does with them.
+
+        Returns a tuple of domains, each a tuple of node names; node
+        order inside a domain and domain order both follow the spec's
+        node declaration order, so the result is deterministic for a
+        given spec.
+        """
+        parent: dict[str, str] = {}
+
+        def find(name: str) -> str:
+            root = name
+            while parent[root] != root:
+                root = parent[root]
+            while parent[name] != root:  # path compression
+                parent[name], name = root, parent[name]
+            return root
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        group_anchor: dict[str, str] = {}
+        for edge in self.edges:
+            if not edge.wireless:
+                continue
+            for end in (edge.src, edge.dst):
+                parent.setdefault(end, end)
+            union(edge.src, edge.dst)
+            if edge.channel_group is not None:
+                anchor = group_anchor.setdefault(edge.channel_group,
+                                                 edge.src)
+                union(anchor, edge.src)
+
+        order = {node.name: i for i, node in enumerate(self.nodes)}
+        members: dict[str, list[str]] = {}
+        for name in sorted(parent, key=order.__getitem__):
+            members.setdefault(find(name), []).append(name)
+        return tuple(tuple(group) for group in
+                     sorted(members.values(), key=lambda g: order[g[0]]))
 
     # -- serialization -------------------------------------------------------
 
