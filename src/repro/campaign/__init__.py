@@ -8,12 +8,16 @@ content-addressed result cache. See ``python -m repro campaign --help``
 for the CLI entry point.
 """
 
-from repro.campaign.cache import (PruneStats, ResultCache,
+from repro.campaign.cache import (PruneStats, ResultCache, VerifyReport,
                                   default_cache_root)
+from repro.campaign.journal import (CampaignJournal, JournalError,
+                                    JournalState, truncate_journal)
 from repro.campaign.progress import CampaignProgress, ProgressPrinter
 from repro.campaign.runner import (CampaignError, CampaignResult, CellResult,
                                    CellTimeout, execute_spec, run_campaign,
                                    run_specs)
+from repro.campaign.supervise import (MemoryWatchdog, WorkerHeartbeat,
+                                      cell_deadline, rss_bytes, timeout_mode)
 from repro.campaign.spec import ScenarioSpec, TraceSpec, code_fingerprint
 from repro.campaign.summary import (FlowSummary, MergedSummary,
                                     ScenarioSummary, merge_summaries,
@@ -21,10 +25,16 @@ from repro.campaign.summary import (FlowSummary, MergedSummary,
 
 __all__ = [
     "CampaignError",
+    "CampaignJournal",
     "CampaignProgress",
     "CampaignResult",
     "CellResult",
     "CellTimeout",
+    "JournalError",
+    "JournalState",
+    "MemoryWatchdog",
+    "VerifyReport",
+    "WorkerHeartbeat",
     "FlowSummary",
     "MergedSummary",
     "ProgressPrinter",
@@ -37,7 +47,11 @@ __all__ = [
     "default_cache_root",
     "execute_spec",
     "merge_summaries",
+    "cell_deadline",
+    "rss_bytes",
     "run_campaign",
     "run_specs",
     "summary_lines",
+    "timeout_mode",
+    "truncate_journal",
 ]

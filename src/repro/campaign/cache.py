@@ -1,27 +1,59 @@
 """Content-addressed result cache for campaign cells.
 
-One JSON file per (spec, code-version) pair, keyed by
+One checksummed file per (spec, code-version) pair, keyed by
 :meth:`ScenarioSpec.content_hash`. Because the key covers a fingerprint
 of the whole ``repro`` source tree, editing the simulator silently
-orphans every old entry instead of serving stale results. Corrupted or
-foreign files are treated as misses (and removed), never as errors — a
-damaged cache can only cost recomputation.
+orphans every old entry instead of serving stale results.
+
+Integrity model — a damaged cache can only ever cost recomputation,
+never a crash and never a silently-wrong figure:
+
+* **atomic writes** — :meth:`ResultCache.put` serializes to a temp
+  file, ``fsync``'s it, and atomically renames; a SIGKILL mid-put
+  leaves either the old entry or the new one, never a truncated file
+  at the entry path;
+* **per-entry checksums** — every entry is a two-line file: a header
+  carrying the sha256 of the body, then the body JSON. :meth:`get`
+  re-hashes the body on every hit, so bit rot, torn writes from
+  foreign tools, or hand-edits are detected *before* deserialization;
+* **quarantine, not raise** — an entry that fails parsing or its
+  checksum is moved to ``<root>/quarantine/`` (suffix ``.corrupt``)
+  with a one-line ``harness`` warning and treated as a miss: the cell
+  recomputes cold and the damaged bytes stay available for forensics.
+  Entries that are merely *stale* (schema/code-fingerprint mismatch
+  from an older build) are deleted silently, as before;
+* **auditability** — :meth:`verify` (surfaced as ``repro cache
+  verify``) scans the whole store and reports valid / stale /
+  corrupt counts without recomputing anything.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Optional
 
 from repro.campaign.spec import (SPEC_SCHEMA_VERSION, ScenarioSpec,
                                  code_fingerprint)
 from repro.campaign.summary import ScenarioSummary
+from repro.obs.events import WARN
+from repro.obs.harness import harness_event
 
 #: Environment override for the cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subdirectory (under the cache root) where corrupt entries are moved.
+QUARANTINE_DIR = "quarantine"
+
+#: Entry-reader statuses.
+_OK = "ok"
+_STALE = "stale"
+_CORRUPT = "corrupt"
+_MISSING = "missing"
 
 
 def default_cache_root() -> Path:
@@ -39,7 +71,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
-    evictions: int = 0  # corrupted entries removed on read
+    evictions: int = 0    # stale entries removed on read
+    quarantined: int = 0  # corrupt entries moved aside on read
 
 
 @dataclass
@@ -50,6 +83,77 @@ class PruneStats:
     kept_bytes: int = 0
     pruned: int = 0
     pruned_bytes: int = 0
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one :meth:`ResultCache.verify` scan."""
+
+    scanned: int = 0
+    valid: int = 0
+    stale: int = 0
+    corrupt: int = 0            # found (and quarantined) this scan
+    quarantined_total: int = 0  # files sitting in quarantine/ afterwards
+    corrupt_entries: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.corrupt == 0
+
+    def lines(self) -> list:
+        return [
+            f"cache verify: {self.scanned} entries scanned — "
+            f"{self.valid} valid, {self.stale} stale, "
+            f"{self.corrupt} corrupt",
+            f"  quarantine holds {self.quarantined_total} file(s)",
+        ] + [f"  quarantined: {name}" for name in self.corrupt_entries]
+
+
+def _entry_blob(body_blob: bytes) -> bytes:
+    """The on-disk bytes for a serialized entry body."""
+    check = hashlib.sha256(body_blob).hexdigest()
+    header = json.dumps({"check": check}).encode("utf-8")
+    return header + b"\n" + body_blob
+
+
+def _read_entry(path: Path) -> tuple[str, Optional[dict], str]:
+    """Parse + checksum one entry file: ``(status, body, reason)``.
+
+    ``corrupt`` covers anything that cannot be byte-verified (torn
+    file, checksum mismatch, undecodable JSON); ``stale`` covers
+    well-formed entries from another code version or the pre-checksum
+    format.
+    """
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        return _MISSING, None, "missing"
+    except OSError as exc:
+        return _CORRUPT, None, f"unreadable: {exc}"
+    header, sep, body_blob = blob.partition(b"\n")
+    if not sep:
+        return _CORRUPT, None, "no header/body split (truncated?)"
+    try:
+        check = json.loads(header)["check"]
+    except (ValueError, KeyError, TypeError):
+        # No checksum header. A fully-parseable old-format entry is
+        # stale (written before checksums); anything else is corrupt.
+        try:
+            payload = json.loads(blob)
+        except ValueError:
+            return _CORRUPT, None, "undecodable header"
+        if isinstance(payload, dict) and "schema" in payload:
+            return _STALE, None, "pre-checksum entry format"
+        return _CORRUPT, None, "foreign JSON without checksum"
+    if hashlib.sha256(body_blob).hexdigest() != check:
+        return _CORRUPT, None, "checksum mismatch"
+    try:
+        body = json.loads(body_blob)
+    except ValueError:
+        return _CORRUPT, None, "checksummed body is not JSON"
+    if not isinstance(body, dict):
+        return _CORRUPT, None, "body is not an object"
+    return _OK, body, ""
 
 
 @dataclass
@@ -65,28 +169,70 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, spec: ScenarioSpec) -> ScenarioSummary | None:
-        """The cached summary for ``spec``, or None on any miss."""
-        key = spec.content_hash()
-        path = self.path_for(key)
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside; never raises, never re-serves."""
+        dest = self.quarantine_root / f"{path.name}.corrupt"
         try:
-            payload = json.loads(path.read_text())
-            if (payload["schema"] != SPEC_SCHEMA_VERSION
-                    or payload["key"] != key
-                    or payload["code"] != code_fingerprint()):
-                raise ValueError("cache entry does not match current code")
-            summary = ScenarioSummary.from_dict(payload["summary"])
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except (ValueError, KeyError, TypeError, OSError):
-            # Corrupted / foreign entry: drop it and recompute the cell.
-            self.stats.misses += 1
-            self.stats.evictions += 1
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
             try:
                 path.unlink()
             except OSError:
-                pass
+                return  # cannot even remove it: repeat miss, not a crash
+        self.stats.quarantined += 1
+        harness_event("quarantine", severity=WARN, entry=path.name,
+                      reason=reason)
+
+    def _evict(self, path: Path) -> None:
+        self.stats.evictions += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _body_matches(self, body: dict, key: str) -> bool:
+        try:
+            return (body["schema"] == SPEC_SCHEMA_VERSION
+                    and body["key"] == key
+                    and body["code"] == code_fingerprint())
+        except (KeyError, TypeError):
+            return False
+
+    def get(self, spec: ScenarioSpec) -> ScenarioSummary | None:
+        """The cached summary for ``spec``, or None on any miss.
+
+        A corrupt entry (truncated write from a killed foreign process,
+        bit rot, hand damage) is quarantined and reported as a miss —
+        it can never raise out of the cache layer, and it can never
+        poison a warm re-run, because the checksum is verified before a
+        single summary field is deserialized.
+        """
+        key = spec.content_hash()
+        path = self.path_for(key)
+        status, body, reason = _read_entry(path)
+        if status == _MISSING:
+            self.stats.misses += 1
+            return None
+        if status == _CORRUPT:
+            self.stats.misses += 1
+            self._quarantine(path, reason)
+            return None
+        if status == _STALE or not self._body_matches(body, key):
+            self.stats.misses += 1
+            self._evict(path)
+            return None
+        try:
+            summary = ScenarioSummary.from_dict(body["summary"])
+        except Exception:
+            # Checksum-valid but undeserializable: written by buggy or
+            # incompatible code. Same playbook — set aside, recompute.
+            self.stats.misses += 1
+            self._quarantine(path, "summary failed to deserialize")
             return None
         self.stats.hits += 1
         # Touch the entry so prune()'s recency order reflects *use*, not
@@ -99,19 +245,27 @@ class ResultCache:
         return summary
 
     def put(self, spec: ScenarioSpec, summary: ScenarioSummary) -> Path:
-        """Atomically persist ``summary`` under the spec's hash."""
+        """Atomically persist ``summary`` under the spec's hash.
+
+        temp write + fsync + rename: a concurrent reader (or a kill -9
+        between any two instructions here) sees the old entry or the
+        complete new one — never a torn file.
+        """
         key = spec.content_hash()
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"schema": SPEC_SCHEMA_VERSION,
-                   "key": key,
-                   "code": code_fingerprint(),
-                   "spec": spec.as_dict(),
-                   "summary": summary.as_dict()}
+        body = {"schema": SPEC_SCHEMA_VERSION,
+                "key": key,
+                "code": code_fingerprint(),
+                "spec": spec.as_dict(),
+                "summary": summary.as_dict()}
+        blob = _entry_blob(json.dumps(body).encode("utf-8"))
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -122,6 +276,42 @@ class ResultCache:
         self.stats.writes += 1
         return path
 
+    def verify(self) -> VerifyReport:
+        """Audit every entry: checksum + schema/key/code + payload shape.
+
+        Corrupt entries are quarantined as they are found (exactly what
+        :meth:`get` would have done on first touch), stale ones are
+        left in place (harmless: the next ``get`` evicts them), and the
+        report counts everything. ``repro cache verify`` surfaces this.
+        """
+        report = VerifyReport()
+        for path in sorted(self.root.glob("*/*.json")):
+            if path.parent.name == QUARANTINE_DIR:
+                continue
+            report.scanned += 1
+            status, body, reason = _read_entry(path)
+            key = path.stem
+            if status == _OK and self._body_matches(body, key):
+                try:
+                    ScenarioSummary.from_dict(body["summary"])
+                except Exception:
+                    status, reason = _CORRUPT, "summary failed to deserialize"
+                else:
+                    report.valid += 1
+                    continue
+            if status == _CORRUPT:
+                report.corrupt += 1
+                report.corrupt_entries.append(path.name)
+                self._quarantine(path, reason)
+            else:
+                report.stale += 1
+        try:
+            report.quarantined_total = sum(
+                1 for _ in self.quarantine_root.iterdir())
+        except OSError:
+            report.quarantined_total = 0
+        return report
+
     def prune(self, max_bytes: int) -> PruneStats:
         """Shrink the store to ``max_bytes``, dropping least-recently-used
         entries first.
@@ -129,11 +319,15 @@ class ResultCache:
         Recency is file mtime — refreshed by :meth:`get` on every hit —
         so the entries that survive are the ones campaigns actually
         replay. Entries that vanish mid-scan (a concurrent campaign
-        pruning the same root) are skipped, never an error.
+        pruning the same root) are skipped, never an error. The
+        quarantine directory is out of scope: damaged evidence is only
+        ever removed explicitly.
         """
         stats = PruneStats()
         entries: list[tuple[float, int, Path]] = []
         for path in self.root.glob("*/*.json"):
+            if path.parent.name == QUARANTINE_DIR:
+                continue
             try:
                 meta = path.stat()
             except OSError:

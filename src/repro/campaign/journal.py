@@ -1,0 +1,312 @@
+"""Crash-safe campaign journal: checkpoint/resume for long sweeps.
+
+A 1000-AP city campaign that dies 90% through (preemption, OOM kill,
+``kill -9``) used to lose everything: the streaming
+:class:`~repro.city.merge.FleetAccumulator` state lived only in memory
+and every completed-but-uncached shard had to recompute. The journal
+makes campaign progress durable:
+
+* one **JSONL record per terminal cell** — spec hash, outcome,
+  attempts, and (for successful cells in cache-less runs) the full
+  summary payload, so a resumed run can restore the cell without
+  recomputing; when a result cache is active the record stays tiny and
+  resume restores summaries through the cache instead — the sample
+  series is never serialized twice;
+* periodic **checkpoint records** carrying opaque consumer state (the
+  fleet accumulator's :meth:`~repro.city.merge.FleetAccumulator.to_state`
+  snapshot), so a resume refolds only the cells journaled after the
+  last checkpoint instead of the whole fleet;
+* a **header record** binding the journal to the exact spec list and
+  code fingerprint, so a stale journal can never silently resume a
+  different campaign.
+
+Durability model: records are appended and ``fsync``'d per batch
+(``flush_every`` records, default every record), so everything before a
+crash is on disk. A SIGKILL mid-append can leave at most one torn tail
+line; :meth:`CampaignJournal.load` detects it (JSON parse failure on
+the final line), drops it, and :meth:`CampaignJournal.open` truncates
+the file back to the last complete record before appending again —
+a torn tail costs one cell, never the journal. The initial create and
+every rewrite go through write-temp + ``fsync`` + atomic ``os.replace``
+so a journal file, once visible, is always structurally valid.
+
+Resuming with ``run_campaign(journal=..., resume=True)`` must be
+bit-identical to never having crashed: the kill-vs-whole fleet-digest
+pin in ``tests/test_chaos.py`` and the CI ``chaos-smoke`` job hold the
+journal to the same bit-exactness contract as the sharder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+JOURNAL_SCHEMA = 1
+
+KIND_HEADER = "header"
+KIND_CELL = "cell"
+KIND_CHECKPOINT = "checkpoint"
+KIND_RESUME = "resume"
+
+
+class JournalError(RuntimeError):
+    """The journal cannot be used (mismatched campaign, bad schema)."""
+
+
+def _keys_hash(keys: Sequence[str]) -> str:
+    """Order-sensitive digest of the campaign's spec-hash list."""
+    blob = "\n".join(keys).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class JournalState:
+    """Everything :meth:`CampaignJournal.load` recovered from disk."""
+
+    path: Path
+    header: Optional[dict] = None
+    #: Last terminal record per cell index (a retried cell's newest
+    #: record wins).
+    cells: dict = field(default_factory=dict)
+    #: Latest consumer checkpoint payload, or None.
+    checkpoint: Optional[dict] = None
+    #: How many records were dropped as a torn tail (0 or 1).
+    torn: int = 0
+    #: Byte offset of the end of the last complete record.
+    valid_bytes: int = 0
+    #: How many resume markers the journal carries (prior crashes).
+    resumes: int = 0
+
+    def completed(self) -> dict:
+        """Cell records that finished ``ok`` (index -> record)."""
+        return {index: record for index, record in self.cells.items()
+                if record.get("status") == "ok"}
+
+
+class CampaignJournal:
+    """Append-only JSONL journal for one campaign's terminal cells.
+
+    Use :meth:`open` (or ``run_campaign(journal=path)``) rather than
+    writing records by hand; the writer owns batching and fsync.
+    """
+
+    def __init__(self, path, flush_every: int = 1) -> None:
+        self.path = Path(path)
+        self.flush_every = max(1, int(flush_every))
+        self._pending: list[str] = []
+        self._fd: Optional[int] = None
+
+    # -- reading ------------------------------------------------------------
+
+    @staticmethod
+    def load(path) -> JournalState:
+        """Parse a journal, tolerating a torn tail record.
+
+        A missing file yields an empty state (fresh campaign). Torn or
+        foreign trailing bytes are *reported*, never raised: a crashed
+        appender costs one record, not the run.
+        """
+        state = JournalState(path=Path(path))
+        try:
+            blob = state.path.read_bytes()
+        except FileNotFoundError:
+            return state
+        offset = 0
+        for line in blob.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                state.torn = 1
+                break
+            stripped = line.strip()
+            if stripped:
+                try:
+                    record = json.loads(stripped)
+                except ValueError:
+                    state.torn = 1
+                    break
+                CampaignJournal._fold(state, record)
+            offset += len(line)
+        state.valid_bytes = offset
+        return state
+
+    @staticmethod
+    def _fold(state: JournalState, record: dict) -> None:
+        kind = record.get("kind")
+        if kind == KIND_HEADER:
+            state.header = record
+        elif kind == KIND_CELL:
+            state.cells[record["index"]] = record
+        elif kind == KIND_CHECKPOINT:
+            state.checkpoint = record.get("state")
+        elif kind == KIND_RESUME:
+            state.resumes += 1
+
+    # -- writing ------------------------------------------------------------
+
+    def open(self, keys: Sequence[str], *, resume: bool = False,
+             meta: Optional[dict] = None) -> JournalState:
+        """Start (or continue) journaling a campaign over ``keys``.
+
+        ``keys`` are the cells' spec content-hashes in input order; the
+        header pins their digest so a journal can only ever resume the
+        exact campaign that wrote it. With ``resume=False`` an existing
+        file is atomically replaced by a fresh header; with
+        ``resume=True`` the existing records are loaded, a torn tail is
+        truncated away, and a resume marker is appended.
+        """
+        keys = list(keys)
+        header = {"kind": KIND_HEADER, "schema": JOURNAL_SCHEMA,
+                  "total": len(keys), "keys_hash": _keys_hash(keys)}
+        if meta:
+            header["meta"] = meta
+        state = self.load(self.path)
+        if not resume or state.header is None:
+            # Fresh journal (or resume of a file that never got a
+            # header — nothing to preserve): atomic create.
+            self._create(header)
+            fresh = JournalState(path=self.path, header=header)
+            fresh.valid_bytes = self.path.stat().st_size
+            if resume:
+                self._append_now([json.dumps({"kind": KIND_RESUME})])
+            return fresh
+        if state.header.get("schema") != JOURNAL_SCHEMA:
+            raise JournalError(
+                f"journal {self.path} has schema "
+                f"{state.header.get('schema')!r}, expected {JOURNAL_SCHEMA}")
+        if (state.header.get("keys_hash") != header["keys_hash"]
+                or state.header.get("total") != len(keys)):
+            raise JournalError(
+                f"journal {self.path} was written by a different campaign "
+                f"({state.header.get('total')} cells, keys hash "
+                f"{str(state.header.get('keys_hash'))[:12]}...); refusing "
+                f"to resume {len(keys)} mismatched cells")
+        # Drop any torn tail so the next append starts on a record
+        # boundary — appending after a half-written line would fuse two
+        # records into garbage.
+        if state.torn or state.valid_bytes != self.path.stat().st_size:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(state.valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._append_now([json.dumps({"kind": KIND_RESUME})])
+        return state
+
+    def _create(self, header: dict) -> None:
+        """Write a fresh journal containing only ``header``, atomically."""
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent,
+                                   suffix=".journal.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(header) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        """Make the rename itself durable (best effort off POSIX)."""
+        try:
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
+
+    def _ensure_fd(self) -> int:
+        if self._fd is None:
+            self._fd = os.open(self.path,
+                               os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                               0o644)
+        return self._fd
+
+    def _append_now(self, lines: Sequence[str]) -> None:
+        fd = self._ensure_fd()
+        os.write(fd, ("".join(line + "\n" for line in lines)).encode("utf-8"))
+        os.fsync(fd)
+
+    def record_cell(self, *, index: int, key: str, status: str,
+                    cached: bool = False, attempts: int = 0,
+                    error: Optional[str] = None,
+                    summary: Optional[dict] = None) -> None:
+        """Append one terminal cell record (batched per ``flush_every``)."""
+        record = {"kind": KIND_CELL, "index": index, "key": key,
+                  "status": status, "cached": cached, "attempts": attempts}
+        if error is not None:
+            record["error"] = error
+        if summary is not None:
+            record["summary"] = summary
+        self._pending.append(json.dumps(record))
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def checkpoint(self, state: dict, *, after: int) -> None:
+        """Append an opaque consumer checkpoint (flushes the batch first,
+        so a checkpoint never lands ahead of the cells it covers)."""
+        self.flush()
+        self._append_now([json.dumps(
+            {"kind": KIND_CHECKPOINT, "after": after, "state": state})])
+
+    def flush(self) -> None:
+        """Durably append every pending record (one write + one fsync)."""
+        if self._pending:
+            lines, self._pending = self._pending, []
+            self._append_now(lines)
+
+    def close(self) -> None:
+        self.flush()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def truncate_journal(path, *, keep_cells: int,
+                     torn_tail: bool = False) -> int:
+    """Chop a journal back to its first ``keep_cells`` cell records.
+
+    Chaos/test helper simulating a crash mid-campaign (optionally
+    mid-append: ``torn_tail`` leaves half of the next record's bytes
+    with no newline). Returns how many cell records remain.
+    """
+    path = Path(path)
+    lines = path.read_bytes().splitlines(keepends=True)
+    kept: list[bytes] = []
+    cells = 0
+    cut: Optional[bytes] = None
+    for line in lines:
+        record = json.loads(line) if line.strip() else {}
+        if record.get("kind") == KIND_CELL:
+            if cells >= keep_cells:
+                cut = line
+                break
+            cells += 1
+        elif record.get("kind") == KIND_CHECKPOINT and cells >= keep_cells:
+            cut = line
+            break
+        kept.append(line)
+    blob = b"".join(kept)
+    if torn_tail and cut is not None:
+        blob += cut[:max(1, len(cut) // 2)].rstrip(b"\n")
+    path.write_bytes(blob)
+    return cells

@@ -299,6 +299,95 @@ class FleetAccumulator:
             record.rtt_values = None
             record.frame_values = None
 
+    def force_collapse(self) -> None:
+        """Degrade to sketch-only percentiles immediately.
+
+        Called by the memory watchdog under RSS pressure: raw sample
+        lists are the only unbounded state the accumulator holds, so
+        dropping them caps memory at the (bounded) sketches while every
+        exact counter keeps its guarantees. Idempotent.
+        """
+        if not self._collapsed:
+            self._collapse()
+
+    def shard_indices(self) -> List[int]:
+        """Shard indexes already folded (sorted) — resume skips these."""
+        return sorted(self._records)
+
+    # -- checkpoint serialization -------------------------------------------
+
+    #: Version pin for :meth:`to_state` payloads inside journals.
+    STATE_SCHEMA = 1
+
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of the whole fold, bit-exactly restorable.
+
+        Fractions serialize as ``"num/den"`` strings (exact), floats
+        ride JSON's shortest-round-trip repr (exact), sketch counts are
+        integers — so ``from_state(to_state())`` followed by
+        :meth:`finalize` yields the identical digest to never having
+        serialized. This is the payload the campaign journal checkpoints.
+        """
+        shards = {}
+        for index, record in self._records.items():
+            shards[str(index)] = {
+                "rtt_sketch": record.rtt_sketch.as_dict()["counts"],
+                "frame_sketch": record.frame_sketch.as_dict()["counts"],
+                "rtt_values": record.rtt_values,
+                "frame_values": record.frame_values,
+                "rtt_tail": record.rtt_tail,
+                "frame_tail": record.frame_tail,
+                "flows": record.flows,
+                "goodput_sum": str(record.goodput_sum),
+                "goodput_sq_sum": str(record.goodput_sq_sum),
+                "bitrate_sum": str(record.bitrate_sum),
+                "events_processed": record.events_processed,
+                "ap_packets": record.ap_packets,
+                "fault_phases": record.fault_phases,
+                "watchdog_transitions": record.watchdog_transitions,
+                "control_transitions": record.control_transitions,
+                "steering_moves": record.steering_moves,
+            }
+        return {"schema": self.STATE_SCHEMA,
+                "sample_budget": self.sample_budget,
+                "samples": self._samples,
+                "collapsed": self._collapsed,
+                "shards": shards}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FleetAccumulator":
+        """Rebuild an accumulator from a :meth:`to_state` snapshot."""
+        if state.get("schema") != cls.STATE_SCHEMA:
+            raise ValueError(
+                f"accumulator state schema {state.get('schema')!r} != "
+                f"{cls.STATE_SCHEMA}")
+        acc = cls(sample_budget=state["sample_budget"])
+        acc._samples = int(state["samples"])
+        acc._collapsed = bool(state["collapsed"])
+        for key, payload in state["shards"].items():
+            record = _ShardRecord()
+            record.rtt_sketch = DelayCdfSketch.from_dict(
+                {"counts": payload["rtt_sketch"]})
+            record.frame_sketch = DelayCdfSketch.from_dict(
+                {"counts": payload["frame_sketch"]})
+            record.rtt_values = payload["rtt_values"]
+            record.frame_values = payload["frame_values"]
+            record.rtt_tail = int(payload["rtt_tail"])
+            record.frame_tail = int(payload["frame_tail"])
+            record.flows = int(payload["flows"])
+            record.goodput_sum = Fraction(payload["goodput_sum"])
+            record.goodput_sq_sum = Fraction(payload["goodput_sq_sum"])
+            record.bitrate_sum = Fraction(payload["bitrate_sum"])
+            record.events_processed = int(payload["events_processed"])
+            record.ap_packets = int(payload["ap_packets"])
+            record.fault_phases = int(payload["fault_phases"])
+            record.watchdog_transitions = int(
+                payload["watchdog_transitions"])
+            record.control_transitions = int(payload["control_transitions"])
+            record.steering_moves = int(payload["steering_moves"])
+            acc._records[int(key)] = record
+        return acc
+
     def finalize(self) -> FleetSummary:
         """Fold all records (in shard-index order) into a FleetSummary."""
         rtt_sketch = DelayCdfSketch()

@@ -172,6 +172,19 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _chaos_from_args(args, progress):
+    """``(worker, progress)`` for --chaos, or ``(None, progress)``."""
+    spec = getattr(args, "chaos", None)
+    if not spec:
+        return None, progress
+    from repro.faults.chaos import build_chaos
+    state_dir = getattr(args, "chaos_dir", None)
+    if not state_dir:
+        raise SystemExit("--chaos requires --chaos-dir (the fire-once "
+                         "markers must survive the planned crash)")
+    return build_chaos(spec, state_dir, progress=progress)
+
+
 def cmd_city_campaign(args) -> int:
     """The ``campaign --city`` path: generate, shard, simulate, merge."""
     from repro.experiments.drivers.city import CITY_DURATION, run_city
@@ -186,19 +199,29 @@ def cmd_city_campaign(args) -> int:
             out=str(trace_dir / "city-trace.json"))
     duration = args.duration if args.duration is not None else CITY_DURATION
     progress = None if args.quiet else ProgressPrinter()
+    worker, progress = _chaos_from_args(args, progress)
     cache = _resolve_cache_args(args)
+    mem_limit = (int(args.mem_limit_mb * 1e6)
+                 if args.mem_limit_mb is not None else None)
     print(gen.describe())
     result = run_city(gen, duration=duration, shard_aps=args.shard_aps,
                       jobs=args.jobs, cache=cache, timeout=args.timeout,
                       retries=args.retries, progress=progress,
                       trace_config=trace_config,
-                      sample_budget=args.sample_budget)
+                      sample_budget=args.sample_budget,
+                      journal=args.journal, resume=args.resume,
+                      checkpoint_every=args.checkpoint_every,
+                      mem_limit_bytes=mem_limit,
+                      hang_timeout=args.hang_timeout,
+                      worker=worker)
     fleet = result.fleet
     print("\n".join(fleet.lines(f"fleet — {args.city}/{args.aps} APs")))
     telemetry = result.campaign.progress
+    resumed = (f", {telemetry.resumed} resumed" if telemetry.resumed
+               else "")
     print(f"shards: {len(result.campaign.cells)} total — "
-          f"{telemetry.ok} computed, {telemetry.cached} cached, "
-          f"{telemetry.retries} retries in "
+          f"{telemetry.ok} computed, {telemetry.cached} cached"
+          f"{resumed}, {telemetry.retries} retries in "
           f"{result.campaign.wall_s:.1f}s")
     _maybe_prune_cache(args, cache)
     if args.out:
@@ -273,10 +296,13 @@ def cmd_campaign(args) -> int:
                  for index, spec in enumerate(specs)]
 
     progress = None if args.quiet else ProgressPrinter()
+    worker, progress = _chaos_from_args(args, progress)
     cache = _resolve_cache_args(args)
     result = run_campaign(specs, jobs=args.jobs, cache=cache,
                           timeout=args.timeout, retries=args.retries,
-                          progress=progress)
+                          progress=progress, worker=worker,
+                          journal=args.journal, resume=args.resume,
+                          hang_timeout=args.hang_timeout)
 
     rows = []
     if grid is not None and not result.failures():
@@ -307,7 +333,8 @@ def cmd_campaign(args) -> int:
           f"({telemetry.cells_per_sec():.2f} cells/s)")
     if not telemetry.timeout_enforced:
         print("warning: per-cell timeout could not be enforced "
-              "(no SIGALRM on this platform/thread)")
+              "(no signal or watchdog-thread mechanism available); "
+              f"modes seen: {telemetry.timeout_modes}")
     _maybe_prune_cache(args, cache)
 
     if args.out:
@@ -412,6 +439,23 @@ def cmd_control(args) -> int:
                       handle, indent=2)
         print(f"wrote {args.out}")
     return 0
+
+
+def cmd_cache(args) -> int:
+    """``repro cache verify``: checksum-audit the result cache.
+
+    Exit status 0 when every entry verified (stale entries are fine:
+    the next read evicts them) and 2 when corruption was found — the
+    damaged entries are already quarantined by the time we report, so
+    a rerun exits 0.
+    """
+    from repro.campaign.cache import ResultCache, default_cache_root
+    root = Path(args.cache_dir) if args.cache_dir else default_cache_root()
+    store = ResultCache(root=root)
+    print(f"cache root: {root}")
+    report = store.verify()
+    print("\n".join(report.lines()))
+    return 0 if report.clean else 2
 
 
 def cmd_trace(args) -> int:
@@ -598,6 +642,42 @@ def _add_campaign_exec_args(parser: argparse.ArgumentParser) -> None:
                              "this many megabytes (LRU by last use)")
 
 
+def _add_robustness_args(parser: argparse.ArgumentParser) -> None:
+    """Crash-safety and supervision knobs (campaign subcommand only)."""
+    group = parser.add_argument_group("crash safety & supervision")
+    group.add_argument("--journal", default=None, metavar="PATH",
+                       help="append every finished cell to this "
+                            "crash-safe JSONL journal (enables --resume)")
+    group.add_argument("--resume", action="store_true",
+                       help="restore completed cells (and, with --city, "
+                            "the fleet accumulator checkpoint) from "
+                            "--journal instead of recomputing them; the "
+                            "result is bit-identical to an "
+                            "uninterrupted run")
+    group.add_argument("--checkpoint-every", type=int, default=8,
+                       metavar="N",
+                       help="journal a consumer-state checkpoint every "
+                            "N completed cells (--city only)")
+    group.add_argument("--hang-timeout", type=float, default=None,
+                       metavar="S",
+                       help="SIGKILL and retry any pool worker whose "
+                            "cell runs longer than S wall-clock seconds")
+    group.add_argument("--mem-limit-mb", type=float, default=None,
+                       metavar="MB",
+                       help="degrade fleet percentiles to sketch-only "
+                            "when driver RSS crosses this limit "
+                            "(--city only)")
+    group.add_argument("--chaos", default=None, metavar="PLAN",
+                       help="deterministic harness-fault plan, e.g. "
+                            "'kill-worker@2,oom@4' or 'exit-run@3' "
+                            "(kinds: kill-worker, oom, hang, exit-run; "
+                            "counts are 1-based campaign-wide)")
+    group.add_argument("--chaos-dir", default=None, metavar="DIR",
+                       help="scratch directory for the chaos plan's "
+                            "cross-process counters and fire-once "
+                            "markers (required with --chaos)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Zhuge (SIGCOMM 2022) reproduction")
@@ -671,7 +751,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topology_options(campaign_parser)
     _add_control_options(campaign_parser)
     _add_campaign_exec_args(campaign_parser)
+    _add_robustness_args(campaign_parser)
     campaign_parser.set_defaults(func=cmd_campaign)
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect the campaign result cache (verify checksums, "
+             "quarantine damage)")
+    cache_parser.add_argument("action", choices=("verify",),
+                              help="verify: checksum-audit every entry; "
+                                   "corrupt ones are quarantined under "
+                                   "<root>/quarantine/")
+    cache_parser.add_argument("--cache-dir", default=None,
+                              help="cache root (default: $REPRO_CACHE_DIR "
+                                   "or ~/.cache/repro-campaign)")
+    cache_parser.set_defaults(func=cmd_cache)
 
     resilience_parser = sub.add_parser(
         "resilience",

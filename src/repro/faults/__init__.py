@@ -15,6 +15,8 @@ bit-identical fault schedules and summaries serially, in a worker pool,
 or replayed from the campaign cache.
 """
 
+from repro.faults.chaos import (CHAOS_ACTIONS, ChaosPlan, ChaosState,
+                                ChaosWorker, build_chaos, corrupt_entry)
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import (FAULT_KINDS, FaultPlan, FaultSpec,
                                WatchdogConfig)
@@ -22,6 +24,10 @@ from repro.faults.watchdog import (STATE_DEGRADED, STATE_HEALTHY,
                                    EstimatorHealthWatchdog)
 
 __all__ = [
+    "CHAOS_ACTIONS",
+    "ChaosPlan",
+    "ChaosState",
+    "ChaosWorker",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
@@ -30,4 +36,6 @@ __all__ = [
     "EstimatorHealthWatchdog",
     "STATE_DEGRADED",
     "STATE_HEALTHY",
+    "build_chaos",
+    "corrupt_entry",
 ]

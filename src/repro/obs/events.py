@@ -35,7 +35,16 @@ fault    watchdog     state, reason (AP health transitions)
 control  state        state, reason (controller state transitions)
 control  policy       state, window_s, passthrough (policy application)
 control  steer        client, old_ap, new_ap, phase ("begin"/"complete")
+harness  quarantine   entry, reason (corrupt cache entry set aside)
+harness  hung_worker  index, pid, waited_s (deadline kill of a worker)
+harness  degrade      what, rss_bytes, limit_bytes (graceful fallback)
+harness  journal      action, path[, cells] (checkpoint/resume lifecycle)
 ======== ============ ==================================================
+
+``harness`` events are emitted by the campaign/cache layer *outside*
+any simulation, so their ``time`` is wall-clock (epoch seconds), not
+virtual time; they flow through :mod:`repro.obs.harness`, not a
+per-run :class:`~repro.obs.bus.TraceBus`.
 
 Tracks (the ``track`` field) name the emitting entity — a queue, a
 link, a flow — and become one timeline row each in the Chrome-trace
@@ -53,8 +62,12 @@ ERROR = 40
 
 _SEVERITY_NAMES = {DEBUG: "DEBUG", INFO: "INFO", WARN: "WARN", ERROR: "ERROR"}
 
-#: Every category a probe may emit; TraceConfig validates against this.
-CATEGORIES = ("sim", "queue", "link", "ap", "cca", "fault", "control")
+#: Categories emitted by in-simulation probes (virtual time, per-run
+#: TraceBus); ``TraceConfig.parse_events`` defaults to these.
+SIM_CATEGORIES = ("sim", "queue", "link", "ap", "cca", "fault", "control")
+#: Every category, including the process-level ``harness`` channel;
+#: TraceConfig validates against this.
+CATEGORIES = SIM_CATEGORIES + ("harness",)
 
 
 def severity_name(severity: int) -> str:

@@ -21,7 +21,7 @@ from typing import Optional
 
 from repro.obs.audit import PredictionAuditor
 from repro.obs.bus import TraceBus
-from repro.obs.events import CATEGORIES, TraceEvent
+from repro.obs.events import CATEGORIES, SIM_CATEGORIES, TraceEvent
 from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.obs.flight import FlightRecorder
 
@@ -68,7 +68,7 @@ class TraceConfig:
         """Parse a ``--events queue,ap,cca`` style CSV list."""
         items = tuple(part.strip() for part in text.split(",")
                       if part.strip())
-        return items or tuple(CATEGORIES)
+        return items or tuple(SIM_CATEGORIES)
 
     def as_dict(self) -> dict:
         payload = asdict(self)
@@ -82,7 +82,7 @@ class TraceConfig:
     @classmethod
     def from_dict(cls, payload: dict) -> "TraceConfig":
         payload = dict(payload)
-        payload["events"] = tuple(payload.get("events", CATEGORIES))
+        payload["events"] = tuple(payload.get("events", SIM_CATEGORIES))
         return cls(**payload)
 
 

@@ -39,26 +39,84 @@ class TestResultCache:
         cache.put(_spec(seed=1), _summary(_spec(seed=1)))
         assert cache.get(_spec(seed=2)) is None
 
-    def test_corrupted_entry_is_evicted(self, tmp_path):
+    def test_corrupted_entry_is_quarantined(self, tmp_path):
         cache = ResultCache(root=tmp_path)
         spec = _spec()
         path = cache.put(spec, _summary(spec))
         path.write_text("{ not json")
+        # Corruption is a miss + quarantine, never a raise.
         assert cache.get(spec) is None
-        assert cache.stats.evictions == 1
+        assert cache.stats.quarantined == 1
         assert not path.exists()
+        moved = cache.quarantine_root / f"{path.name}.corrupt"
+        assert moved.exists()
+        assert moved.read_text() == "{ not json"
         # The cell can be re-cached afterwards.
         cache.put(spec, _summary(spec))
         assert cache.get(spec) is not None
 
-    def test_code_version_mismatch_is_a_miss(self, tmp_path):
+    def test_truncated_entry_is_quarantined(self, tmp_path):
         cache = ResultCache(root=tmp_path)
         spec = _spec()
         path = cache.put(spec, _summary(spec))
-        payload = json.loads(path.read_text())
-        payload["code"] = "0" * 16  # entry written by different code
-        path.write_text(json.dumps(payload))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])  # torn foreign write
         assert cache.get(spec) is None
+        assert cache.stats.quarantined == 1
+        assert (cache.quarantine_root / f"{path.name}.corrupt").exists()
+
+    def test_checksum_detects_body_tamper(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        spec = _spec()
+        path = cache.put(spec, _summary(spec))
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF  # flip one byte deep in the body
+        path.write_bytes(bytes(blob))
+        assert cache.get(spec) is None
+        assert cache.stats.quarantined == 1
+
+    def test_code_version_mismatch_is_a_silent_evict(self, tmp_path):
+        from repro.campaign.cache import _entry_blob
+        cache = ResultCache(root=tmp_path)
+        spec = _spec()
+        path = cache.put(spec, _summary(spec))
+        _header, body_blob = path.read_bytes().split(b"\n", 1)
+        body = json.loads(body_blob)
+        body["code"] = "0" * 16  # entry written by different code
+        path.write_bytes(_entry_blob(json.dumps(body).encode()))
+        assert cache.get(spec) is None
+        # Stale, not corrupt: evicted in place, not quarantined.
+        assert cache.stats.evictions == 1
+        assert cache.stats.quarantined == 0
+        assert not path.exists()
+
+    def test_verify_reports_and_quarantines(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        specs = [_spec(seed=seed) for seed in range(1, 4)]
+        paths = [cache.put(spec, _summary(spec)) for spec in specs]
+        paths[1].write_text("damaged beyond recognition")
+        report = cache.verify()
+        assert (report.scanned, report.valid, report.corrupt) == (3, 2, 1)
+        assert not report.clean
+        assert report.corrupt_entries == [paths[1].name]
+        assert report.quarantined_total == 1
+        # Second pass: the store is clean again.
+        report = cache.verify()
+        assert report.clean
+        assert (report.scanned, report.valid) == (2, 2)
+        assert report.quarantined_total == 1
+
+    def test_quarantine_is_never_served_or_pruned(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        spec = _spec()
+        path = cache.put(spec, _summary(spec))
+        path.write_text("oops")
+        assert cache.get(spec) is None
+        moved = cache.quarantine_root / f"{path.name}.corrupt"
+        assert moved.exists()
+        stats = cache.prune(max_bytes=0)
+        assert stats.pruned == 0  # store already empty; quarantine kept
+        assert moved.exists()
 
     def test_default_root_honors_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))

@@ -1,0 +1,272 @@
+"""Journal + checkpoint/resume tests: durability and bit-exact restore.
+
+The crash cases that matter are storage-shaped: a torn tail from a
+SIGKILL mid-append, a journal from a different campaign, a checkpoint
+that must refold to the exact same accumulator. Process-level kills are
+exercised end to end in ``test_chaos.py``; here every failure is
+constructed surgically on disk.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (CampaignJournal, JournalError, ResultCache,
+                            ScenarioSpec, TraceSpec, run_campaign,
+                            truncate_journal)
+from repro.campaign.summary import ScenarioSummary
+
+
+def _spec(seed: int = 1) -> ScenarioSpec:
+    return ScenarioSpec(trace=TraceSpec.constant(1e6, 1.0),
+                        duration=1.0, seed=seed)
+
+
+def fake_worker(spec):
+    return ScenarioSummary(spec=spec, events_processed=spec.seed)
+
+
+def _keys(n=3):
+    return [f"k{i}" for i in range(n)]
+
+
+class TestJournalFormat:
+    def test_fresh_open_writes_header(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = CampaignJournal(path)
+        journal.open(_keys())
+        journal.close()
+        state = CampaignJournal.load(path)
+        assert state.header is not None
+        assert state.header["total"] == 3
+        assert state.cells == {}
+        assert state.torn == 0
+
+    def test_record_roundtrip_last_wins(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with CampaignJournal(path) as journal:
+            journal.open(_keys())
+            journal.record_cell(index=1, key="k1", status="failed",
+                                attempts=2, error="boom")
+            journal.record_cell(index=0, key="k0", status="ok",
+                                summary={"x": 1})
+            # Retried cell: the newest terminal record wins.
+            journal.record_cell(index=1, key="k1", status="ok",
+                                attempts=3, summary={"x": 2})
+        state = CampaignJournal.load(path)
+        assert sorted(state.cells) == [0, 1]
+        assert state.cells[1]["status"] == "ok"
+        assert state.cells[1]["summary"] == {"x": 2}
+        assert sorted(state.completed()) == [0, 1]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        state = CampaignJournal.load(tmp_path / "absent.journal")
+        assert state.header is None
+        assert state.cells == {}
+
+    def test_flush_every_batches_appends(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = CampaignJournal(path, flush_every=3)
+        journal.open(_keys())
+        journal.record_cell(index=0, key="k0", status="ok")
+        journal.record_cell(index=1, key="k1", status="ok")
+        # Below the batch threshold: nothing on disk beyond the header.
+        assert CampaignJournal.load(path).cells == {}
+        journal.record_cell(index=2, key="k2", status="ok")
+        assert sorted(CampaignJournal.load(path).cells) == [0, 1, 2]
+        journal.close()
+
+    def test_checkpoint_lands_after_its_cells(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = CampaignJournal(path, flush_every=100)
+        journal.open(_keys())
+        journal.record_cell(index=0, key="k0", status="ok")
+        journal.checkpoint({"folded": [0]}, after=1)
+        journal.close()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        kinds = [record["kind"] for record in lines]
+        # The pending cell batch is flushed *before* the checkpoint, so
+        # a checkpoint can never claim cells that are not on disk.
+        assert kinds == ["header", "cell", "checkpoint"]
+        assert CampaignJournal.load(path).checkpoint == {"folded": [0]}
+
+
+class TestTornTail:
+    def _journal_with_cells(self, path, n=2):
+        with CampaignJournal(path) as journal:
+            journal.open(_keys())
+            for index in range(n):
+                journal.record_cell(index=index, key=f"k{index}",
+                                    status="ok", summary={"i": index})
+
+    def test_load_drops_torn_tail(self, tmp_path):
+        path = tmp_path / "run.journal"
+        self._journal_with_cells(path)
+        clean_size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "cell", "ind')  # SIGKILL mid-append
+        state = CampaignJournal.load(path)
+        assert state.torn == 1
+        assert state.valid_bytes == clean_size
+        assert sorted(state.cells) == [0, 1]
+
+    def test_resume_truncates_then_appends_cleanly(self, tmp_path):
+        path = tmp_path / "run.journal"
+        self._journal_with_cells(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "cell"')
+        with CampaignJournal(path) as journal:
+            state = journal.open(_keys(), resume=True)
+            assert sorted(state.completed()) == [0, 1]
+            journal.record_cell(index=2, key="k2", status="ok")
+        # Every line parses: the torn bytes are gone, not fused into
+        # the next record.
+        reloaded = CampaignJournal.load(path)
+        assert reloaded.torn == 0
+        assert sorted(reloaded.cells) == [0, 1, 2]
+        assert reloaded.resumes == 1
+
+    def test_truncate_journal_helper(self, tmp_path):
+        path = tmp_path / "run.journal"
+        self._journal_with_cells(path, n=3)
+        assert truncate_journal(path, keep_cells=1) == 1
+        assert sorted(CampaignJournal.load(path).cells) == [0]
+        truncate_journal(path, keep_cells=0, torn_tail=True)
+        state = CampaignJournal.load(path)
+        assert state.cells == {}
+        assert state.torn == 1
+
+
+class TestResumeGuards:
+    def test_wrong_campaign_refused(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with CampaignJournal(path) as journal:
+            journal.open(_keys())
+        with pytest.raises(JournalError, match="different campaign"):
+            CampaignJournal(path).open(["other"], resume=True)
+
+    def test_schema_mismatch_refused(self, tmp_path):
+        path = tmp_path / "run.journal"
+        path.write_text(json.dumps(
+            {"kind": "header", "schema": 999, "total": 3,
+             "keys_hash": "irrelevant"}) + "\n")
+        with pytest.raises(JournalError, match="schema"):
+            CampaignJournal(path).open(_keys(), resume=True)
+
+    def test_fresh_open_replaces_stale_journal(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with CampaignJournal(path) as journal:
+            journal.open(_keys())
+            journal.record_cell(index=0, key="k0", status="ok")
+        with CampaignJournal(path) as journal:
+            journal.open(["other", "keys"])  # resume=False: start over
+        assert CampaignJournal.load(path).cells == {}
+
+    def test_resume_without_journal_rejected(self):
+        with pytest.raises(ValueError, match="requires journal"):
+            run_campaign([_spec()], resume=True, worker=fake_worker)
+
+
+class TestRunnerIntegration:
+    def test_journal_records_every_terminal_cell(self, tmp_path):
+        path = tmp_path / "run.journal"
+        specs = [_spec(seed) for seed in (1, 2, 3)]
+        run_campaign(specs, journal=path, worker=fake_worker)
+        state = CampaignJournal.load(path)
+        assert sorted(state.completed()) == [0, 1, 2]
+        for index, spec in enumerate(specs):
+            record = state.cells[index]
+            assert record["key"] == spec.content_hash()
+            assert record["summary"]["events_processed"] == spec.seed
+
+    def test_resume_restores_without_recompute(self, tmp_path):
+        path = tmp_path / "run.journal"
+        specs = [_spec(seed) for seed in (1, 2, 3)]
+        run_campaign(specs, journal=path, worker=fake_worker)
+        truncate_journal(path, keep_cells=2)
+        calls = tmp_path / "calls"
+
+        def counting_worker(spec):
+            with open(calls, "a") as handle:
+                handle.write("x")
+            return fake_worker(spec)
+
+        result = run_campaign(specs, journal=path, resume=True,
+                              worker=counting_worker)
+        assert result.failed == 0
+        assert result.resumed == 2
+        assert result.progress.ok == 1
+        assert calls.read_text() == "x"  # only the lost cell recomputed
+        assert ([c.summary.events_processed for c in result.cells]
+                == [1, 2, 3])
+
+    def test_cache_backed_records_skip_summary_payload(self, tmp_path):
+        """With a result cache the summary is durable in the cache
+        entry; the journal record stays tiny (no duplicate sample
+        series) and resume restores through the cache."""
+        path = tmp_path / "run.journal"
+        cache = ResultCache(root=tmp_path / "cache")
+        specs = [_spec(seed) for seed in (1, 2)]
+        run_campaign(specs, journal=path, cache=cache, worker=fake_worker)
+        state = CampaignJournal.load(path)
+        assert sorted(state.completed()) == [0, 1]
+        assert all("summary" not in record
+                   for record in state.cells.values())
+        result = run_campaign(specs, journal=path, cache=cache,
+                              resume=True, worker=fake_worker)
+        assert result.resumed == 2
+        assert result.progress.ok == 0  # nothing recomputed
+        assert ([c.summary.events_processed for c in result.cells]
+                == [1, 2])
+
+    def test_resumed_cells_feed_consume(self, tmp_path):
+        path = tmp_path / "run.journal"
+        specs = [_spec(seed) for seed in (1, 2)]
+        run_campaign(specs, journal=path, worker=fake_worker)
+        seen = []
+        run_campaign(specs, journal=path, resume=True, worker=fake_worker,
+                     consume=lambda cell: seen.append(
+                         (cell.index, cell.summary.events_processed,
+                          cell.resumed)))
+        assert seen == [(0, 1, True), (1, 2, True)]
+
+    def test_failed_cells_get_fresh_budget_on_resume(self, tmp_path):
+        path = tmp_path / "run.journal"
+        spec = _spec(1)
+        with CampaignJournal(path) as journal:
+            journal.open([spec.content_hash()])
+            journal.record_cell(index=0, key=spec.content_hash(),
+                                status="failed", attempts=2, error="boom")
+        result = run_campaign([spec], journal=path, resume=True,
+                              worker=fake_worker)
+        assert result.failed == 0
+        assert result.resumed == 0  # recomputed, not restored
+        assert result.cells[0].summary.events_processed == 1
+
+    def test_consume_raise_leaves_no_durable_trace(self, tmp_path):
+        """Satellite 4: a raising consume must not journal or cache
+        the cell — resume recomputes and re-consumes it."""
+        path = tmp_path / "run.journal"
+        cache = ResultCache(root=tmp_path / "cache")
+        specs = [_spec(seed) for seed in (1, 2, 3)]
+
+        def consume(cell):
+            if cell.index == 1:
+                raise RuntimeError("consumer exploded")
+
+        with pytest.raises(RuntimeError, match="consumer exploded"):
+            run_campaign(specs, journal=path, cache=cache,
+                         worker=fake_worker, consume=consume)
+        state = CampaignJournal.load(path)
+        # Cell 0 completed its consume and is durable; cell 1 must not
+        # be journaled *or* cached, else resume would silently skip a
+        # cell whose consumption never happened.
+        assert sorted(state.completed()) == [0]
+        assert cache.get(specs[1]) is None
+        assert cache.get(specs[0]) is not None
+        # The journal file is still parseable and resumable.
+        result = run_campaign(specs, journal=path, cache=cache,
+                              resume=True, worker=fake_worker)
+        assert result.failed == 0
+        assert result.resumed == 1

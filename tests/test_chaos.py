@@ -1,0 +1,228 @@
+"""Chaos-harness tests: planned harness faults and the kill-resume pin.
+
+The centerpiece is the digest pin: a city campaign killed mid-run
+(really killed — ``os._exit`` from a planned chaos action in a
+subprocess, or a journal truncated exactly as a SIGKILL would leave it)
+and then resumed must produce a fleet digest bit-identical to a run
+that never crashed. Everything else here exercises the individual
+failure injectors: worker kills, injected OOM, hung-worker supervision,
+cache corruption.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import ResultCache, ScenarioSpec, TraceSpec, run_campaign
+from repro.campaign.journal import truncate_journal
+from repro.city.gen import CityGenSpec
+from repro.city.merge import FleetAccumulator
+from repro.experiments.drivers.city import run_city
+from repro.faults.chaos import (CHAOS_EXIT_CODE, ChaosPlan, ChaosState,
+                                ChaosWorker, corrupt_entry)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: One tiny city shared by every digest test: 3 contention domains,
+#: 8 s per shard (3 s of samples past the 5 s warmup) — big enough to
+#: shard and produce real percentiles, small enough for CI.
+CITY_ARGS = dict(preset="grid", aps=3, seed=7)
+CITY_RUN = dict(duration=8.0, shard_aps=1)
+
+
+def _gen() -> CityGenSpec:
+    return CityGenSpec.for_preset(CITY_ARGS["preset"],
+                                  aps=CITY_ARGS["aps"],
+                                  seed=CITY_ARGS["seed"])
+
+
+@pytest.fixture(scope="module")
+def reference_digest() -> str:
+    """Fleet digest of the uninterrupted run every chaos run must match."""
+    return run_city(_gen(), **CITY_RUN).fleet.digest()
+
+
+def _stub_spec(seed: int = 1) -> ScenarioSpec:
+    return ScenarioSpec(trace=TraceSpec.constant(1e6, 1.0),
+                        duration=1.0, seed=seed)
+
+
+class TestChaosPlan:
+    def test_parse_roundtrip(self):
+        plan = ChaosPlan.parse(" kill-worker@2, oom@4 ,exit-run@3")
+        assert plan.as_spec() == "kill-worker@2,oom@4,exit-run@3"
+        assert [a.kind for a in plan.worker_actions()] == ["kill-worker",
+                                                           "oom"]
+        assert [a.kind for a in plan.driver_actions()] == ["exit-run"]
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos action"):
+            ChaosPlan.parse("meteor-strike@1")
+
+    def test_missing_count_rejected(self):
+        with pytest.raises(ValueError, match="@<count>"):
+            ChaosPlan.parse("oom")
+
+
+class TestChaosState:
+    def test_counter_is_monotonic(self, tmp_path):
+        state = ChaosState(tmp_path)
+        assert [state.next_count() for _ in range(3)] == [1, 2, 3]
+        assert state.count() == 3
+
+    def test_fire_once_fires_once(self, tmp_path):
+        state = ChaosState(tmp_path)
+        assert state.fire_once("oom@2") is True
+        assert state.fire_once("oom@2") is False
+        # A fresh object over the same directory (another process, a
+        # resumed run) still sees the claim.
+        assert ChaosState(tmp_path).fire_once("oom@2") is False
+
+
+class TestWorkerFaults:
+    def test_injected_oom_is_retried(self, tmp_path):
+        worker = ChaosWorker("oom@1", tmp_path / "chaos")
+        result = run_campaign([_stub_spec()], worker=worker,
+                              retries=1, backoff_s=0.01)
+        assert result.failed == 0
+        assert result.progress.retries == 1
+        assert result.cells[0].attempts == 1
+
+    def test_worker_kill_recovers_via_pool_rebuild(self, tmp_path):
+        """A chaos SIGKILL breaks the pool; the cautious restart path
+        retries every in-flight cell to completion."""
+        worker = ChaosWorker("kill-worker@1", tmp_path / "chaos")
+        specs = [_stub_spec(seed) for seed in (1, 2, 3)]
+        result = run_campaign(specs, jobs=2, worker=worker,
+                              retries=2, backoff_s=0.01)
+        assert result.failed == 0
+        assert result.progress.retries >= 1
+        assert len(result.summaries()) == 3
+
+    def test_hung_worker_is_killed_and_retried(self, tmp_path):
+        worker = ChaosWorker("hang@1", tmp_path / "chaos")
+        specs = [_stub_spec(seed) for seed in (1, 2)]
+        result = run_campaign(specs, jobs=2, worker=worker,
+                              retries=2, backoff_s=0.01,
+                              hang_timeout=2.0)
+        assert result.failed == 0
+        assert result.progress.hung_kills == 1
+        assert result.progress.retries >= 1
+
+
+class TestCacheChaos:
+    def test_corrupt_entry_quarantined_then_recomputed(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        specs = [_stub_spec(seed) for seed in (1, 2)]
+        run_campaign(specs, cache=cache)
+        damaged = corrupt_entry(cache.root, index=0, mode="truncate")
+        assert damaged is not None
+        rerun = run_campaign(specs, cache=cache)
+        assert rerun.failed == 0
+        assert rerun.cached == 1   # the undamaged entry still serves
+        assert rerun.progress.ok == 1  # the damaged one recomputed cold
+        assert cache.stats.quarantined == 1
+        report = cache.verify()
+        assert report.clean  # damage already quarantined on first touch
+
+    def test_bitflip_detected_by_checksum(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        spec = _stub_spec()
+        run_campaign([spec], cache=cache)
+        assert corrupt_entry(cache.root, mode="flip") is not None
+        assert cache.get(spec) is None
+        assert cache.stats.quarantined == 1
+
+
+class TestAccumulatorState:
+    def test_state_roundtrip_is_bit_exact(self, reference_digest):
+        from repro.experiments.drivers.city import city_specs
+        _plan, specs = city_specs(_gen(), duration=CITY_RUN["duration"],
+                                  shard_aps=CITY_RUN["shard_aps"])
+        result = run_campaign(specs)
+        direct = FleetAccumulator()
+        for cell in result.cells:
+            direct.add(cell.index, cell.summary)
+        # Through JSON and back (exactly what the journal checkpoint
+        # does): the digest must not move by a single bit.
+        state = json.loads(json.dumps(direct.to_state()))
+        restored = FleetAccumulator.from_state(state)
+        assert restored.shard_indices() == direct.shard_indices()
+        assert restored.finalize().digest() == reference_digest
+
+    def test_force_collapse_is_idempotent(self):
+        acc = FleetAccumulator()
+        acc.force_collapse()
+        acc.force_collapse()
+        assert acc.exact is False
+
+    def test_mem_watchdog_degrades_to_sketch(self):
+        # A 1-byte RSS limit trips on the first consume: the fleet
+        # answer degrades to sketch percentiles instead of OOMing.
+        result = run_city(_gen(), **CITY_RUN, mem_limit_bytes=1)
+        assert result.fleet.exact is False
+        assert result.fleet.rtt_samples > 0
+
+
+class TestKillResumeDigestPin:
+    """The acceptance pin: kill mid-campaign, resume, digest unchanged."""
+
+    def test_truncated_journal_resume_matches(self, tmp_path,
+                                              reference_digest):
+        journal = tmp_path / "city.journal"
+        run_city(_gen(), **CITY_RUN, journal=journal, checkpoint_every=1)
+        # Crash after one shard (the torn tail is the half-written
+        # record a SIGKILL mid-append leaves behind).
+        truncate_journal(journal, keep_cells=1, torn_tail=True)
+        resumed = run_city(_gen(), **CITY_RUN, journal=journal,
+                           resume=True, checkpoint_every=1)
+        assert resumed.fleet.digest() == reference_digest
+        assert resumed.campaign.resumed == 1
+
+    def test_checkpoint_restore_matches(self, tmp_path, reference_digest):
+        journal = tmp_path / "city.journal"
+        run_city(_gen(), **CITY_RUN, journal=journal, checkpoint_every=1)
+        truncate_journal(journal, keep_cells=2)  # keeps checkpoint@1
+        resumed = run_city(_gen(), **CITY_RUN, journal=journal,
+                           resume=True, checkpoint_every=1)
+        assert resumed.fleet.digest() == reference_digest
+
+    def test_real_kill_and_cli_resume_matches(self, tmp_path,
+                                              reference_digest):
+        """Drive the CLI, let chaos ``exit-run@2`` hard-kill it after
+        the second shard, resume, and pin the digest.
+
+        The exit fires at the progress event, which lands *before* the
+        completing cell's own journal append — exactly like a kill
+        racing the fsync. The crash therefore loses the in-flight
+        shard (journal holds shard 1 of 3) and resume must restore one
+        shard and recompute two, bit-identically."""
+        journal = tmp_path / "city.journal"
+        out = tmp_path / "fleet.json"
+        base = [sys.executable, "-m", "repro", "campaign",
+                "--city", CITY_ARGS["preset"],
+                "--aps", str(CITY_ARGS["aps"]),
+                "--city-seed", str(CITY_ARGS["seed"]),
+                "--shard-aps", str(CITY_RUN["shard_aps"]),
+                "--duration", str(CITY_RUN["duration"]),
+                "--no-cache", "--quiet", "--journal", str(journal)]
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"))
+        killed = subprocess.run(
+            base + ["--chaos", "exit-run@2",
+                    "--chaos-dir", str(tmp_path / "chaos")],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=600)
+        assert killed.returncode == CHAOS_EXIT_CODE, killed.stderr
+        resumed = subprocess.run(
+            base + ["--resume", "--out", str(out)],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=600)
+        assert resumed.returncode == 0, resumed.stderr
+        payload = json.loads(out.read_text())
+        assert payload["digest"] == reference_digest
+        assert payload["progress"]["resumed"] >= 1

@@ -16,6 +16,7 @@ Covers the robustness acceptance criteria:
 
 import dataclasses
 import threading
+import time
 import warnings
 
 import pytest
@@ -417,12 +418,14 @@ class TestTimeoutTelemetry:
             [self._spec()], jobs=0, cache=None, timeout=30.0,
             worker=lambda spec: ScenarioSummary(spec=spec))
         assert result.progress.timeout_enforced is True
+        assert result.progress.timeout_modes.get("signal") == 1
         assert "timeout_enforced" in result.progress.as_dict()
 
-    def test_unenforced_in_thread_with_warning(self, monkeypatch):
-        import repro.campaign.runner as runner_mod
+    def test_thread_fallback_enforces_off_main_thread(self):
+        # SIGALRM is unavailable off the main thread; the watchdog-
+        # thread fallback takes over instead of silently disabling the
+        # budget (and says so in the timeout_modes telemetry).
         from repro.campaign import run_campaign
-        monkeypatch.setattr(runner_mod, "_ALARM_WARNED", False)
         box = {}
 
         def work():
@@ -436,11 +439,51 @@ class TestTimeoutTelemetry:
         thread = threading.Thread(target=work)
         thread.start()
         thread.join()
-        assert box["result"].progress.timeout_enforced is False
-        assert any(issubclass(w.category, RuntimeWarning)
-                   for w in box["warnings"])
+        assert box["result"].progress.timeout_enforced is True
+        assert box["result"].progress.timeout_modes.get("thread") == 1
+        assert not any(issubclass(w.category, RuntimeWarning)
+                       for w in box["warnings"])
+
+    def test_thread_fallback_fires(self):
+        from repro.campaign import run_campaign
+        box = {}
+
+        def slow_worker(spec):
+            time.sleep(20.0)
+            return ScenarioSummary(spec=spec)
+
+        def work():
+            box["result"] = run_campaign(
+                [self._spec()], jobs=0, cache=None, timeout=0.2,
+                retries=0, backoff_s=0.01, worker=slow_worker)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        cell = box["result"].cells[0]
+        assert cell.status == "failed"
+        assert "timeout" in cell.error
+        assert box["result"].progress.timeout_modes.get("thread") == 1
+
+    def test_unenforceable_mode_warns_once(self, monkeypatch):
+        import repro.campaign.runner as runner_mod
+        from repro.campaign import run_campaign
+        monkeypatch.setattr(runner_mod, "_UNENFORCED_WARNED", False)
+        monkeypatch.setattr(runner_mod, "timeout_mode",
+                            lambda timeout: runner_mod.TIMEOUT_NONE)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_campaign(
+                [self._spec(), self._spec()], jobs=0, cache=None,
+                timeout=30.0,
+                worker=lambda spec: ScenarioSummary(spec=spec))
+        assert result.progress.timeout_enforced is False
+        assert result.progress.timeout_modes.get("none") == 2
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
         # The warning fires once per process, not once per cell.
-        assert runner_mod._ALARM_WARNED is True
+        assert len(runtime) == 1
 
     def test_no_timeout_requested_stays_enforced(self):
         from repro.campaign import run_campaign
