@@ -26,3 +26,19 @@ class PassthroughAP:
         self.packets_processed += 1
         if self.forward_uplink is not None:
             self.forward_uplink(packet)
+
+    def on_data_batch(self, packets: list) -> None:
+        """Batch twin of :meth:`on_downlink` (macro event model)."""
+        self.packets_processed += len(packets)
+        forward = self.forward_downlink
+        if forward is not None:
+            for packet in packets:
+                forward(packet)
+
+    def on_ack_batch(self, packets: list) -> None:
+        """Batch twin of :meth:`on_uplink` (macro event model)."""
+        self.packets_processed += len(packets)
+        forward = self.forward_uplink
+        if forward is not None:
+            for packet in packets:
+                forward(packet)

@@ -13,6 +13,8 @@ computed in-process.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -84,6 +86,10 @@ class ScenarioSummary:
     spec: ScenarioSpec
     flows: list[FlowSummary] = field(default_factory=list)
     events_processed: int = 0
+    #: Packets delivered by the link layers — part of the digest
+    #: contract (identical across event models), unlike
+    #: ``events_processed`` which depends on how dispatches are fused.
+    packets_processed: int = 0
     ap_packets: int = 0
     prediction_pairs: list[tuple[float, float]] = field(default_factory=list)
     #: (time, kind, phase) executed fault phases; empty without faults.
@@ -102,6 +108,7 @@ class ScenarioSummary:
         return cls(spec=spec,
                    flows=[FlowSummary.from_flow(f) for f in result.flows],
                    events_processed=result.events_processed,
+                   packets_processed=getattr(result, "packets_processed", 0),
                    ap_packets=result.ap_packets,
                    prediction_pairs=[tuple(p)
                                      for p in result.prediction_pairs],
@@ -126,10 +133,32 @@ class ScenarioSummary:
     def measured_duration(self) -> float:
         return self.spec.duration - self.spec.warmup
 
+    def digest_payload(self) -> dict:
+        """The metric-level equivalence contract (digest v2, PR 10).
+
+        Everything observable about the simulated trajectory — per-packet
+        timestamps, delays, drops, release times, counts — is pinned;
+        ``events_processed`` is excluded because it counts engine
+        dispatches, which the macro event model legitimately fuses.
+        Two runs that differ only in event model must produce identical
+        payloads (``packets_processed`` stays: links count deliveries
+        the same way in both models).
+        """
+        payload = self.as_dict()
+        del payload["events_processed"]
+        return payload
+
+    def digest(self) -> str:
+        """Canonical sha256 of :meth:`digest_payload`."""
+        blob = json.dumps(self.digest_payload(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
     def as_dict(self) -> dict:
         payload = {"spec": self.spec.as_dict(),
                    "flows": [f.as_dict() for f in self.flows],
                    "events_processed": self.events_processed,
+                   "packets_processed": self.packets_processed,
                    "ap_packets": self.ap_packets,
                    "prediction_pairs": [list(p)
                                         for p in self.prediction_pairs]}
@@ -154,6 +183,7 @@ class ScenarioSummary:
                    flows=[FlowSummary.from_dict(f)
                           for f in payload["flows"]],
                    events_processed=payload["events_processed"],
+                   packets_processed=payload.get("packets_processed", 0),
                    ap_packets=payload["ap_packets"],
                    prediction_pairs=[tuple(p) for p in
                                      payload["prediction_pairs"]],
@@ -187,6 +217,7 @@ class MergedSummary:
     frame_samples: list[float] = field(default_factory=list)
     flows: int = 0
     events_processed: int = 0
+    packets_processed: int = 0
     ap_packets: int = 0
     goodput_bps_total: float = 0.0
     mean_bitrate_bps_total: float = 0.0
@@ -230,6 +261,7 @@ def merge_summaries(summaries: Sequence[ScenarioSummary]) -> MergedSummary:
             merged.mean_bitrate_bps_total += flow.mean_bitrate_bps
             merged.flows += 1
         merged.events_processed += summary.events_processed
+        merged.packets_processed += summary.packets_processed
         merged.ap_packets += summary.ap_packets
     merged.rtt_samples.sort()
     merged.frame_samples.sort()

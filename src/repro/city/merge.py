@@ -147,6 +147,7 @@ class FleetSummary:
     #: Jain fairness over every RTC flow's goodput, fleet-wide.
     fairness: float = 1.0
     events_processed: int = 0
+    packets_processed: int = 0
     ap_packets: int = 0
     fault_phases: int = 0
     watchdog_transitions: int = 0
@@ -170,6 +171,7 @@ class FleetSummary:
                 "mean_bitrate_bps_total": self.mean_bitrate_bps_total,
                 "fairness": self.fairness,
                 "events_processed": self.events_processed,
+                "packets_processed": self.packets_processed,
                 "ap_packets": self.ap_packets,
                 "fault_phases": self.fault_phases,
                 "watchdog_transitions": self.watchdog_transitions,
@@ -178,14 +180,20 @@ class FleetSummary:
                 "rtt_sketch": self.rtt_sketch}
 
     def digest(self) -> str:
-        """sha256 over everything *except* the shard count.
+        """sha256 over everything *except* the shard count and the
+        engine's dispatch telemetry.
 
         A sharded campaign and the same city simulated whole (or with
         a different ``--shard-aps``) must produce the same digest —
         that equality is the bit-exactness contract of the sharder.
+        ``events_processed`` is likewise excluded (digest contract v2):
+        it counts engine dispatches, which differ between the classic
+        and macro event models; ``packets_processed`` pins the
+        trajectory instead.
         """
         payload = self.as_dict()
         del payload["shards"]
+        del payload["events_processed"]
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -227,6 +235,7 @@ class _ShardRecord:
     goodput_sq_sum: Fraction = Fraction(0)
     bitrate_sum: Fraction = Fraction(0)
     events_processed: int = 0
+    packets_processed: int = 0
     ap_packets: int = 0
     fault_phases: int = 0
     watchdog_transitions: int = 0
@@ -282,6 +291,7 @@ class FleetAccumulator:
             record.goodput_sq_sum += goodput * goodput
             record.bitrate_sum += Fraction(flow.mean_bitrate_bps)
         record.events_processed = summary.events_processed
+        record.packets_processed = summary.packets_processed
         record.ap_packets = summary.ap_packets
         record.fault_phases = len(summary.fault_log)
         record.watchdog_transitions = len(summary.watchdog_transitions)
@@ -342,6 +352,7 @@ class FleetAccumulator:
                 "goodput_sq_sum": str(record.goodput_sq_sum),
                 "bitrate_sum": str(record.bitrate_sum),
                 "events_processed": record.events_processed,
+                "packets_processed": record.packets_processed,
                 "ap_packets": record.ap_packets,
                 "fault_phases": record.fault_phases,
                 "watchdog_transitions": record.watchdog_transitions,
@@ -379,6 +390,8 @@ class FleetAccumulator:
             record.goodput_sq_sum = Fraction(payload["goodput_sq_sum"])
             record.bitrate_sum = Fraction(payload["bitrate_sum"])
             record.events_processed = int(payload["events_processed"])
+            record.packets_processed = int(
+                payload.get("packets_processed", 0))
             record.ap_packets = int(payload["ap_packets"])
             record.fault_phases = int(payload["fault_phases"])
             record.watchdog_transitions = int(
@@ -408,6 +421,7 @@ class FleetAccumulator:
                 frame_values.extend(record.frame_values)
             out.flows += record.flows
             out.events_processed += record.events_processed
+            out.packets_processed += record.packets_processed
             out.ap_packets += record.ap_packets
             out.fault_phases += record.fault_phases
             out.watchdog_transitions += record.watchdog_transitions

@@ -25,12 +25,18 @@ import enum
 from collections import deque
 from typing import Callable, Optional
 
-from repro.core.fortune_teller import FortuneTeller
+from repro.core.fortune_teller import DelayPrediction, FortuneTeller
 from repro.core.sliding_window import (DEFAULT_WINDOW, DelayDeltaHistory,
                                        TokenBank)
 from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Simulator
 from repro.sim.random import DeterministicRandom
+
+
+#: The uplink kinds the updater delays (hoisted: the per-ACK membership
+#: test must not rebuild the tuple of enum attributes per packet).
+_FEEDBACK_KINDS = frozenset((PacketKind.ACK, PacketKind.RTCP_TWCC,
+                             PacketKind.RTCP_OTHER))
 
 
 class FeedbackKind(enum.Enum):
@@ -101,6 +107,16 @@ class OutOfBandFeedbackUpdater:
         #: disabled. Both datapath entry points read it exactly once.
         self.trace = None
         self._track = "ap"
+        #: The AP's canonical uplink-forward callable.  When a delayed
+        #: ACK's ``forward`` *is* this callable, the hold is served by a
+        #: :class:`~repro.sim.engine.TimedRun` instead of a scheduler
+        #: event — one sentinel per burst instead of one heap event (and
+        #: one closure) per ACK.  Unknown forwards keep the classic
+        #: schedule; both assign their seq at ACK time, so the two are
+        #: tie-order identical.
+        self.release_forward: Optional[Callable[[Packet], None]] = None
+        self._release_run = None
+        self._macro = sim.event_model == "macro"
 
     def enable_trace(self, bus, track: str = "ap") -> None:
         self.trace = bus
@@ -109,16 +125,110 @@ class OutOfBandFeedbackUpdater:
     # -- Algorithm 1: on downlink data packets --------------------------------
 
     def on_data_packet(self, packet: Packet) -> float:
-        """Predict the packet's fortune; bank the delta. Returns the delta."""
-        prediction = self.fortune_teller.observe_arrival(packet)
+        """Predict the packet's fortune; bank the delta. Returns the delta.
+
+        The ledger updates inline the bodies of
+        ``DelayDeltaHistory.push`` (+ its expiry/compaction) and
+        ``TokenBank.append`` — identical state transitions, exact-sum
+        operation order, and ``ops``/``capped`` accounting, without the
+        per-packet call frames.
+        """
+        teller = self.fortune_teller
+        if teller.record_predictions:
+            prediction = teller.observe_arrival(packet)
+        elif not teller._fast_predict:
+            prediction = teller.predict()
+        else:
+            # Inlined ``FortuneTeller.predict`` fast path — the same
+            # cache check, estimator state transitions, arithmetic
+            # order, and counters, sharing this frame (the predict call
+            # is the hottest per-packet edge in the AP datapath).
+            now = self.sim._now
+            if (teller.min_estimation_interval > 0
+                    and teller._cached_prediction is not None
+                    and now - teller._cached_at
+                    < teller.min_estimation_interval):
+                teller.cache_hits += 1
+                prediction = teller._cached_prediction
+            else:
+                queue = teller.queue
+                q_size = queue._bytes
+                if teller.burst_correction:
+                    bt = teller.burst_tracker
+                    bt.ops += 1
+                    horizon = now - bt.window
+                    bursts = bt._bursts
+                    bmax = bt._max
+                    while bursts and bursts[0][0] < horizon:
+                        entry = bursts.popleft()
+                        if bmax and bmax[0] is entry:
+                            bmax.popleft()
+                    start = bt._current_start
+                    if start is not None and now - start >= bt.window:
+                        bt._current_start = None
+                        bt._current_bytes = 0
+                    best = bt._current_bytes
+                    if bmax:
+                        cand = bmax[0][1]
+                        if cand > best:
+                            best = cand
+                    q_size -= best
+                    if q_size < 0:
+                        q_size = 0
+                txr = teller.tx_rate
+                txr.ops += 1
+                horizon = now - txr.window
+                events = txr._events
+                while events and events[0][0] < horizon:
+                    txr._bytes_in_window -= events.popleft()[1]
+                if events:
+                    span = txr.window
+                    first = txr._first_event
+                    if first is not None:
+                        elapsed = now - first
+                        if elapsed < span:
+                            span = elapsed
+                    if span < txr.min_span:
+                        span = txr.min_span
+                    rate = txr._bytes_in_window * 8 / span
+                else:
+                    rate = 0.0
+                if rate <= 0:
+                    rate = teller.tx_rate_long.rate_bps(now)
+                q_long = (q_size * 8 / rate) if rate > 0 else 0.0
+                qpackets = queue._packets
+                if qpackets:
+                    enqueued = qpackets[0].enqueued_at
+                    q_short = (max(0.0, now - enqueued)
+                               if enqueued is not None else 0.0)
+                else:
+                    q_short = 0.0
+                di = teller.dequeue_intervals
+                di.ops += 1
+                horizon = now - di.window
+                intervals = di._intervals
+                dsum = di._sum
+                while intervals and intervals[0][0] < horizon:
+                    dsum.subtract(intervals.popleft()[1])
+                if intervals:
+                    tx = dsum.value() / len(intervals)
+                else:
+                    dsum.reset()
+                    tx = 0.0
+                teller.predictions_made += 1
+                prediction = DelayPrediction(q_long, q_short, tx)
+                teller._cached_prediction = prediction
+                teller._cached_at = now
         tr = self.trace
         if tr is not None:
             tr.ap_prediction(self._track, packet, prediction)
-        current = prediction.total
-        if self._last_total_delay is None:
+        # ``prediction.total``, spelled out (property body: left-to-right).
+        current = prediction.q_long + prediction.q_short + prediction.tx
+        last = self._last_total_delay
+        if last is None:
             self._last_total_delay = current
             return 0.0
-        delta = current - self._last_total_delay
+        delta = current - last
         self._last_total_delay = current
         if self.passthrough:
             # Degraded: keep observing (so health can recover) but bank
@@ -126,14 +236,45 @@ class OutOfBandFeedbackUpdater:
             return delta
         if delta >= 0:
             now = self.sim._now
-            self.delta_history.push(now, delta)
+            hist = self.delta_history
+            hist.ops += 1
+            times = hist._times
+            values = hist._values
+            hsum = hist._sum
+            times.append(now)
+            values.append(delta)
+            hsum.add(delta)
+            horizon = now - hist.window
+            head = hist._head
+            n = len(times)
+            while head < n and times[head] < horizon:
+                hsum.subtract(values[head])
+                head += 1
+            hist._head = head
+            if head == n:
+                times.clear()
+                values.clear()
+                hist._head = 0
+                hsum.reset()
+            elif head > hist._COMPACT_MIN and head * 2 > n:
+                del times[:head]
+                del values[:head]
+                hist._head = 0
             if not self.distributional:
                 self._pending_deltas.append((now, delta))
                 self._expire_pending(now)
             if tr is not None:
                 tr.ap_delta(self._track, delta, banked=False)
         elif self.use_tokens:
-            self.token_history.append(-delta)
+            bank = self.token_history
+            entries = bank._entries
+            if len(entries) >= bank.max_entries:
+                _, old = entries.popleft()
+                bank._sum.subtract(old)
+                bank.capped += 1
+            token = -delta
+            entries.append((self.sim.now, token))
+            bank._sum.add(token)
             if tr is not None:
                 tr.ap_delta(self._track, delta, banked=True)
                 tr.ap_tokens(self._track, self.outstanding_tokens)
@@ -177,10 +318,38 @@ class OutOfBandFeedbackUpdater:
                 tr.ap_ack_delay(self._track, 0.0, release - arrival_time,
                                 self.outstanding_tokens)
             return release - arrival_time
-        if self.token_history.ttl is not None:
-            self.token_history.expire(arrival_time)
+        bank = self.token_history
+        if bank.ttl is not None:
+            bank.expire(arrival_time)
         if self.distributional:
-            extra = self.delta_history.sample(arrival_time)
+            # Inlined ``DelayDeltaHistory.sample`` (expiry, compaction,
+            # and the single uniform index draw — same RNG sequence).
+            hist = self.delta_history
+            hist.ops += 1
+            times = hist._times
+            values = hist._values
+            hsum = hist._sum
+            horizon = arrival_time - hist.window
+            head = hist._head
+            n = len(times)
+            while head < n and times[head] < horizon:
+                hsum.subtract(values[head])
+                head += 1
+            hist._head = head
+            if head == n:
+                times.clear()
+                values.clear()
+                hist._head = 0
+                hsum.reset()
+                extra = 0.0
+            else:
+                if head > hist._COMPACT_MIN and head * 2 > n:
+                    del times[:head]
+                    del values[:head]
+                    hist._head = 0
+                    n -= head
+                    head = 0
+                extra = values[head + hist.rng.randindex(n - head)]
         else:
             self._expire_pending(arrival_time)
             if self._pending_deltas:
@@ -189,15 +358,27 @@ class OutOfBandFeedbackUpdater:
                 extra = 0.0
         sampled = extra
 
-        # Spend banked tokens against the sampled delay.
-        while self.use_tokens and self.token_history and extra > 0:
-            front = self.token_history[0]
-            if front > extra:
-                self.token_history[0] = front - extra
-                extra = 0.0
-                break
-            extra -= front
-            self.token_history.popleft()
+        # Spend banked tokens against the sampled delay (inlined
+        # ``TokenBank`` index/assign/popleft — same exact-sum op order).
+        if self.use_tokens and extra > 0:
+            entries = bank._entries
+            bsum = bank._sum
+            while entries:
+                stamp, front = entries[0]
+                if front > extra:
+                    remainder = front - extra
+                    entries[0] = (stamp, remainder)
+                    bsum.subtract(front)
+                    bsum.add(remainder)
+                    extra = 0.0
+                    break
+                extra -= front
+                entries.popleft()
+                bsum.subtract(front)
+                if not entries:
+                    bsum.reset()
+                if extra <= 0:
+                    break
 
         extra = min(extra, self.max_extra_delay)
         release = max(arrival_time + extra, self._last_sent_time)
@@ -211,15 +392,106 @@ class OutOfBandFeedbackUpdater:
     def on_feedback_packet(self, packet: Packet,
                            forward: Callable[[Packet], None]) -> None:
         """Hold the ACK for the computed delay, then forward it."""
-        if packet.kind not in (PacketKind.ACK, PacketKind.RTCP_TWCC,
-                               PacketKind.RTCP_OTHER):
+        if packet.kind not in _FEEDBACK_KINDS:
             forward(packet)
             return
-        delay = self.ack_delay(self.sim._now)
+        now = self.sim._now
+        # Inlined :meth:`ack_delay` — identical branch structure, RNG
+        # draw, and exact-sum operation order; the method remains the
+        # public/test API and must stay in lockstep with this body.
+        if self.passthrough:
+            release = max(now, self._last_sent_time)
+            self._last_sent_time = release
+            tr = self.trace
+            if tr is not None:
+                tr.ap_ack_delay(self._track, 0.0, release - now,
+                                self.outstanding_tokens)
+            delay = release - now
+        else:
+            bank = self.token_history
+            if bank.ttl is not None:
+                bank.expire(now)
+            if self.distributional:
+                hist = self.delta_history
+                hist.ops += 1
+                times = hist._times
+                values = hist._values
+                hsum = hist._sum
+                horizon = now - hist.window
+                head = hist._head
+                n = len(times)
+                while head < n and times[head] < horizon:
+                    hsum.subtract(values[head])
+                    head += 1
+                hist._head = head
+                if head == n:
+                    times.clear()
+                    values.clear()
+                    hist._head = 0
+                    hsum.reset()
+                    extra = 0.0
+                else:
+                    if head > hist._COMPACT_MIN and head * 2 > n:
+                        del times[:head]
+                        del values[:head]
+                        hist._head = 0
+                        n -= head
+                        head = 0
+                    extra = values[head + hist.rng.randindex(n - head)]
+            else:
+                self._expire_pending(now)
+                if self._pending_deltas:
+                    _, extra = self._pending_deltas.popleft()
+                else:
+                    extra = 0.0
+            sampled = extra
+            if self.use_tokens and extra > 0:
+                entries = bank._entries
+                bsum = bank._sum
+                while entries:
+                    stamp, front = entries[0]
+                    if front > extra:
+                        remainder = front - extra
+                        entries[0] = (stamp, remainder)
+                        bsum.subtract(front)
+                        bsum.add(remainder)
+                        extra = 0.0
+                        break
+                    extra -= front
+                    entries.popleft()
+                    bsum.subtract(front)
+                    if not entries:
+                        bsum.reset()
+                    if extra <= 0:
+                        break
+            extra = min(extra, self.max_extra_delay)
+            release = max(now + extra, self._last_sent_time)
+            self._last_sent_time = release
+            tr = self.trace
+            if tr is not None:
+                tr.ap_ack_delay(self._track, sampled, release - now,
+                                self.outstanding_tokens)
+            delay = release - now
         self.acks_delayed += 1
         self.total_injected_delay += delay
         if delay <= 0:
             forward(packet)
+        elif self._macro and forward is self.release_forward:
+            run = self._release_run
+            if run is None:
+                run = self._release_run = self.sim.timed_run(forward)
+            # Same time expression the classic schedule produces
+            # (``now + delay``).  Releases are monotone by the
+            # ``_last_sent_time`` clamp, but the float round-trip
+            # ``arrival + (release - arrival)`` can regress by an ulp —
+            # the classic event heap tolerates that, so mirror it by
+            # falling back to a classic event for the stragglers.
+            time = now + delay
+            times = run._times
+            if times and time < times[-1]:
+                self.sim.schedule(delay, lambda p=packet: forward(p))
+            else:
+                run.push(time, packet)
         else:
             self.sim.schedule(delay, lambda p=packet: forward(p))
 

@@ -56,6 +56,11 @@ class ZhugeAP:
 
         self.forward_downlink: Optional[ForwardCallback] = None
         self.forward_uplink: Optional[ForwardCallback] = None
+        #: Canonical uplink-out callable.  A bound method read off the
+        #: instance is a fresh object every time (`self._uplink_out is
+        #: self._uplink_out` is False), so the one identity the feedback
+        #: updaters key their release TimedRun on is cached here.
+        self._uplink_out_cb: ForwardCallback = self._uplink_out
 
         self._oob: dict[FiveTuple, OutOfBandFeedbackUpdater] = {}
         self._inband: dict[FiveTuple, InBandFeedbackUpdater] = {}
@@ -106,12 +111,13 @@ class ZhugeAP:
                 rng=self.rng.fork(f"oob-{flow.src_port}-{flow.dst_port}"),
                 window=self.window,
                 distributional=distributional)
+            updater.release_forward = self._uplink_out_cb
             self._oob[flow] = updater
         else:
             updater = InBandFeedbackUpdater(
                 self.sim, teller, flow,
                 feedback_interval=self.window)
-            updater.send_uplink = self._uplink_out
+            updater.send_uplink = self._uplink_out_cb
             self._inband[flow] = updater
         self._downlink_updaters[flow] = updater
         self._uplink_updaters[flow.reversed()] = updater
@@ -321,9 +327,39 @@ class ZhugeAP:
         self.packets_processed += 1
         updater = self._uplink_updaters.get(packet.flow)
         if updater is not None:
-            updater.on_feedback_packet(packet, self._uplink_out)
+            updater.on_feedback_packet(packet, self._uplink_out_cb)
         else:
             self._uplink_out(packet)
+
+    def on_data_batch(self, packets: list) -> None:
+        """Batch twin of :meth:`on_downlink` (macro event model).
+
+        Loops the exact per-packet logic without re-entering the
+        scheduler between packets; a caller must only hand over packets
+        that genuinely share one delivery instant.
+        """
+        on_downlink = self.on_downlink
+        for packet in packets:
+            on_downlink(packet)
+
+    def on_ack_batch(self, packets: list) -> None:
+        """Batch twin of :meth:`on_uplink` (macro event model).
+
+        One AMPDU's worth of uplink feedback in a single call: per
+        packet the updater lookup, feedback handling and release
+        scheduling are identical to :meth:`on_uplink`, but delayed ACKs
+        land on the updater's release TimedRun instead of costing one
+        scheduler event each.
+        """
+        self.packets_processed += len(packets)
+        updaters = self._uplink_updaters
+        out = self._uplink_out_cb
+        for packet in packets:
+            updater = updaters.get(packet.flow)
+            if updater is not None:
+                updater.on_feedback_packet(packet, out)
+            else:
+                out(packet)
 
     def on_wireless_delivery(self, packet: Packet) -> None:
         """The wireless hop delivered a packet (accuracy bookkeeping)."""

@@ -4,6 +4,26 @@ Models serialization (bytes / rate) plus fixed propagation delay, with an
 attached :class:`~repro.net.queue.DropTailQueue` (or an AQM subclass).
 The WAN segment between the sender and the AP is a ``WiredLink``; the
 wireless hop is modelled separately in :mod:`repro.wireless`.
+
+Event models (PR 10)
+--------------------
+Under ``REPRO_EVENT_MODEL=classic`` every packet costs three events
+(serialization finish, propagation arrival, plus the enqueue-side
+bookkeeping).  The default **macro** model replaces the whole chain
+with an *analytic virtual server*: ``send`` computes the packet's
+serialization start (``max(now, tail_finish)``), finish
+(``start + size*8/rate`` — the identical float expression the classic
+path evaluates) and arrival (``finish + delay``) in place, and pushes
+the packet onto a single :class:`~repro.sim.engine.TimedRun` arrival
+stream — one sentinel heap entry per burst instead of two events per
+packet.  Tail-drop fidelity is preserved by a *committed-bytes* ledger:
+packets whose serialization has not started yet still occupy queue
+capacity, exactly as the classic queue's ``_bytes`` would at the same
+instant.  Queue stats totals and per-packet ``enqueued_at`` /
+``dequeued_at`` stamps are identical in both modes; a link whose queue
+has trace probes or arrival/departure observers (or an AQM subclass)
+falls back to the classic path automatically, so observability and
+AQM semantics never silently change.
 """
 
 from __future__ import annotations
@@ -39,6 +59,11 @@ class WiredLink:
         self.queue = queue if queue is not None else DropTailQueue(name=f"{name}-q")
         self.name = name
         self.deliver: Optional[DeliverCallback] = None
+        #: Optional whole-batch delivery callback (macro mode): must be
+        #: observably identical to calling ``deliver`` per packet.  Used
+        #: for arrivals that share one instant (e.g. the ACK burst a
+        #: txop's worth of deliveries sends down a pure delay line).
+        self.deliver_batch: Optional[Callable[[list], None]] = None
         self._busy = False
         #: Packet currently serializing, and packets propagating toward
         #: the far end (oldest first). Events are bound methods popping
@@ -47,16 +72,160 @@ class WiredLink:
         self._tx_packet: Optional[Packet] = None
         from collections import deque
         self._inflight: "deque[Packet]" = deque()
+        #: Event model, resolved lazily at the first send (observers and
+        #: trace probes are attached between construction and the run):
+        #: None = undecided, then True (analytic macro path) or False
+        #: (classic per-packet events) for the link's lifetime.
+        self._macro: Optional[bool] = None
+        self._arrive_run = None
+        self._arrive_push = None
+        #: Analytic-server state: absolute time the serializer frees,
+        #: and the (start, size) ledger of accepted packets whose
+        #: serialization has not begun — they still occupy capacity.
+        self._tail_finish = 0.0
+        self._committed: "deque[tuple[float, int]]" = deque()
+        self._phantom_bytes = 0
+
+    def _resolve_macro(self) -> bool:
+        """Pick the event model once, at the first send."""
+        queue = self.queue
+        macro = (self.sim.event_model == "macro"
+                 and type(queue) is DropTailQueue
+                 and queue.trace is None
+                 and not queue.on_arrival
+                 and not queue.on_departure)
+        if macro:
+            self._arrive_run = self.sim.timed_run(self._macro_arrive)
+            self._arrive_run.fn_batch = self._macro_arrive_batch
+            self._arrive_push = self._arrive_run.push
+            # Rebind the entry point to the resolved fast path: callers
+            # that look ``link.send`` up per packet (the hot path) skip
+            # the mode dispatch from the second packet on.  Callers
+            # holding a reference bound before the first send still go
+            # through the generic ``send``, which stays correct.
+            self.send = (self._delay_send if self.rate_bps is None
+                         else self._macro_send)
+        self._macro = macro
+        return macro
 
     def send(self, packet: Packet) -> None:
         """Accept a packet for transmission (may queue or drop it)."""
+        macro = self._macro
+        if macro is None:
+            macro = self._resolve_macro()
         if self.rate_bps is None:
             # Infinite-rate delay line: bypass the queue entirely.
-            self._inflight.append(packet)
-            self.sim.schedule(self.delay, self._arrive)
+            if macro:
+                self._delay_send(packet)
+            else:
+                self._inflight.append(packet)
+                self.sim.schedule(self.delay, self._arrive)
+            return
+        if macro:
+            self._macro_send(packet)
             return
         if self.queue.enqueue(packet, self.sim.now) and not self._busy:
             self._start_transmission()
+
+    def _delay_send(self, packet: Packet) -> None:
+        """Macro delay line: one run push per packet, no queue, no events.
+
+        Seq is taken at push time, exactly when the classic path would
+        schedule its arrival event: tie order against foreign events is
+        preserved.
+        """
+        self._arrive_push(self.sim._now + self.delay, packet)
+
+    def send_batch(self, packets: list) -> None:
+        """Send several packets at one instant.
+
+        On a macro delay line the whole batch becomes one seq-consecutive
+        run extension — observably identical to looping :meth:`send`
+        (each packet would take the next seq with nothing in between).
+        Rate-limited or classic links just loop.
+        """
+        macro = self._macro
+        if macro is None:
+            macro = self._resolve_macro()
+        if macro and self.rate_bps is None:
+            self._arrive_run.push_batch(self.sim._now + self.delay, packets)
+            return
+        send = self.send
+        for packet in packets:
+            send(packet)
+
+    def _macro_send(self, packet: Packet) -> None:
+        """Analytic virtual server: queue+serialize+propagate in place.
+
+        Arithmetic order matches the classic path operation for
+        operation (``start + size * 8 / rate``, then ``finish + delay``),
+        so computed timestamps are bit-identical.  The settle loop
+        releases capacity held by packets whose serialization has
+        started (``start <= now``) — the classic queue dequeues exactly
+        at those start times, so the ledger equals classic ``_bytes``
+        at every send instant.
+        """
+        now = self.sim._now
+        committed = self._committed
+        phantom = self._phantom_bytes
+        while committed and committed[0][0] <= now:
+            phantom -= committed.popleft()[1]
+        queue = self.queue
+        size = packet.size
+        if queue._bytes + phantom + size > queue.capacity_bytes:
+            self._phantom_bytes = phantom
+            queue._drop(packet, "tail-overflow")
+            return
+        start = self._tail_finish
+        if start < now:
+            start = now
+        finish = start + size * 8 / self.rate_bps
+        self._tail_finish = finish
+        packet.enqueued_at = now
+        packet.dequeued_at = start
+        stats = queue.stats
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
+        stats.dequeued += 1
+        stats.bytes_dequeued += size
+        committed.append((start, size))
+        self._phantom_bytes = phantom + size
+        self._arrive_push(finish + self.delay, packet)
+
+    def _macro_arrive(self, packet: Packet) -> None:
+        """TimedRun dispatcher: one delivered packet at its arrival time."""
+        deliver = self.deliver
+        if deliver is not None:
+            sim = self.sim
+            sim.packets_processed += 1
+            packet.received_at = sim._now
+            deliver(packet)
+
+    def _macro_arrive_batch(self, packets: list) -> None:
+        """Same-instant batch twin of :meth:`_macro_arrive`.
+
+        Packet-for-packet identical bookkeeping; with a wired
+        ``deliver_batch`` the whole burst lands in one receiver call
+        (e.g. ``ZhugeAP.on_ack_batch``), otherwise the per-packet
+        deliverer is looped.
+        """
+        deliver_batch = self.deliver_batch
+        if deliver_batch is not None:
+            sim = self.sim
+            sim.packets_processed += len(packets)
+            now = sim._now
+            for packet in packets:
+                packet.received_at = now
+            deliver_batch(packets)
+            return
+        deliver = self.deliver
+        if deliver is not None:
+            sim = self.sim
+            sim.packets_processed += len(packets)
+            now = sim._now
+            for packet in packets:
+                packet.received_at = now
+                deliver(packet)
 
     def _start_transmission(self) -> None:
         packet = self.queue.dequeue(self.sim.now)
@@ -77,6 +246,7 @@ class WiredLink:
     def _arrive(self) -> None:
         packet = self._inflight.popleft()
         if self.deliver is not None:
+            self.sim.packets_processed += 1
             packet.received_at = self.sim.now
             self.deliver(packet)
 

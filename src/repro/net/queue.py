@@ -67,6 +67,16 @@ class DropTailQueue:
         self.stats = QueueStats()
         self.on_arrival: list[ArrivalCallback] = []
         self.on_departure: list[DepartureCallback] = []
+        #: Same-instant batch twins of ``on_departure`` subscribers.
+        #: ``dequeue_burst`` fires one ``callback(burst, queue)`` per
+        #: subscriber instead of per packet — but only when *every*
+        #: per-packet subscriber registered a twin here (the lists are
+        #: appended to in pairs).  Twins must be observably identical
+        #: to looping the per-packet callback over the burst, must not
+        #: read queue state (they run after the whole burst drained,
+        #: not mid-drain), and must not depend on ordering relative to
+        #: other subscribers.
+        self.on_departure_batch: list = []
         self.on_drop: list[DropCallback] = []
         #: Tracing probe (:class:`repro.obs.bus.TraceBus`); ``None`` =
         #: disabled, and every probe site is a single attribute check.
@@ -168,6 +178,12 @@ class DropTailQueue:
         stats = self.stats
         trace = self.trace
         departures = self.on_departure
+        # Batch departure dispatch: when every subscriber has a
+        # same-instant twin, fire each twin once with the whole burst
+        # (all stamped with one ``now``) instead of once per packet.
+        use_batch = (bool(departures)
+                     and len(self.on_departure_batch) == len(departures))
+        fire = bool(departures) and not use_batch
         burst = []
         append = burst.append
         burst_bytes = 0
@@ -187,9 +203,17 @@ class DropTailQueue:
             append(head)
             burst_bytes += size
             count += 1
-            if departures:
+            if fire:
                 for callback in departures:
                     callback(head, self)
+        if use_batch and burst:
+            if count == 1:
+                head = burst[0]
+                for callback in departures:
+                    callback(head, self)
+            else:
+                for callback in self.on_departure_batch:
+                    callback(burst, self)
         return burst
 
     def _pop_head(self, now: float) -> Optional[Packet]:

@@ -24,21 +24,51 @@ instant (its seq is smaller than any bucket entry's), so the run loop
 drains same-instant heap events ahead of the bucket.
 
 Cancellation is O(1) (a flag) and cancelled events are *compacted*
-lazily: once more than half the scheduler is dead weight the heap is
-rebuilt without the corpses — amortized O(1) per cancel, and a
-campaign that cancels millions of timers no longer drags a heap of
-tombstones behind it.
+lazily: once the dead outnumber the live the scheduler is rebuilt
+without the corpses (heap *and* now bucket) — amortized O(1) per
+cancel, and a campaign that cancels millions of timers no longer drags
+a heap of tombstones behind it.
+
+Macro-event runs (the PR 10 event-model refactor)
+-------------------------------------------------
+A :class:`TimedRun` is a time-ordered stream of payloads sharing one
+dispatcher function.  Instead of one :class:`Event` per packet, a
+component pushes ``(time, payload)`` records onto a run; the run keeps
+a **single sentinel** in the future heap (for its head item) and the
+run loop *run-ahead* fires consecutive items inline — without any heap
+traffic — for as long as they are globally next in the exact
+``(time, seq)`` total order.  Each push still consumes one ``seq`` from
+the shared counter, so a run item and a classic event scheduled for the
+same instant tie-break exactly as two classic events would: trajectories
+are bit-identical between the macro and classic event models.
+
+``REPRO_EVENT_MODEL`` (``macro``, the default, or ``classic``) selects
+which model datapath components use; the engine itself always supports
+both.  ``events_processed`` counts every dispatch (classic events and
+run items alike) and is engine *telemetry* — summary digests pin
+``packets_processed``, which the link layers increment per delivered
+packet identically in both modes.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import os
 from typing import Callable, Optional
 
 #: Compaction starts only beyond this many dead events, so small
 #: simulations never pay the rebuild.
 _COMPACT_MIN_DEAD = 64
+
+
+def _resolve_event_model() -> str:
+    """Read ``REPRO_EVENT_MODEL`` (macro | classic; default macro)."""
+    mode = os.environ.get("REPRO_EVENT_MODEL", "macro").strip().lower()
+    if mode not in ("macro", "classic"):
+        raise SimulationError(
+            f"REPRO_EVENT_MODEL must be 'macro' or 'classic', got {mode!r}")
+    return mode
 
 
 class SimulationError(RuntimeError):
@@ -92,6 +122,123 @@ class Event:
         return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
 
 
+class TimedRun:
+    """A monotone stream of timed payloads sharing one dispatcher.
+
+    Created through :meth:`Simulator.timed_run`.  ``push(time, payload)``
+    appends a record; the engine calls ``fn(payload)`` at exactly
+    ``time`` in the global ``(time, seq)`` order (the seq is taken from
+    the simulator's shared counter at push time, so ties against classic
+    events resolve exactly as they would between two classic events).
+
+    The run keeps at most one *sentinel* entry ``(time, seq, run)`` in
+    the future heap — for its head item — so a thousand-packet burst
+    costs one heap push instead of a thousand.  Push times must be
+    non-decreasing within a run (each stream models a FIFO resource:
+    a link's arrival line, an AP's release queue).  Runs cannot be
+    cancelled; components that need cancellation keep classic events.
+    """
+
+    __slots__ = ("_sim", "fn", "fn_batch", "_times", "_seqs", "_payloads",
+                 "_head", "_dispatching")
+
+    #: Class attribute (not a slot): sentinels must look live to
+    #: ``peek``/``_compact``, which test ``entry[2].cancelled``.
+    cancelled = False
+
+    def __init__(self, sim: "Simulator", fn: Callable) -> None:
+        self._sim = sim
+        self.fn = fn
+        #: Optional batch dispatcher: ``fn_batch(payloads)`` must be
+        #: observably identical to ``for p in payloads: fn(p)``.  The
+        #: run loop uses it for a maximal prefix of items that share
+        #: one instant *and* are all globally next in ``(time, seq)``
+        #: order — exactly the items per-item dispatch would have fired
+        #: back to back anyway (anything the batch schedules gets a
+        #: larger seq than every gathered item, so it still fires
+        #: after them, as it would have per-item).
+        self.fn_batch: Optional[Callable] = None
+        self._times: list[float] = []
+        self._seqs: list[int] = []
+        self._payloads: list = []
+        self._head = 0
+        self._dispatching = False
+
+    def push(self, time: float, payload) -> None:
+        """Append ``payload`` to fire at absolute ``time`` (monotone)."""
+        times = self._times
+        if times:
+            # Non-empty run: the last item is pending or being
+            # dispatched right now, so it is never behind the clock —
+            # the monotone check subsumes the past-time check.  And
+            # outside dispatch a non-empty run always has its sentinel
+            # planted already, so no heap push is needed here.
+            if time < times[-1]:
+                raise SimulationError(
+                    f"TimedRun push out of order: {time} < {times[-1]}")
+            sim = self._sim
+            seq = sim._seq
+            sim._seq = seq + 1
+        else:
+            sim = self._sim
+            if time < sim._now:
+                # A past sentinel would run the clock backwards.
+                raise SimulationError(
+                    f"cannot push in the past: {time} < {sim._now}")
+            seq = sim._seq
+            sim._seq = seq + 1
+            if not self._dispatching:
+                # Empty run coming live: plant the sentinel.  Always
+                # the heap, even at time == now — the run loop's tie
+                # compare orders a same-instant sentinel exactly by seq.
+                heapq.heappush(sim._heap, (time, seq, self))
+        times.append(time)
+        self._seqs.append(seq)
+        self._payloads.append(payload)
+
+    def push_batch(self, time: float, payloads: list) -> None:
+        """Push several payloads at one instant, seq-consecutive.
+
+        Observably identical to looping :meth:`push` — each payload
+        takes the next seq in order, exactly as back-to-back pushes
+        with nothing scheduled between them would.
+        """
+        n = len(payloads)
+        if n <= 1:
+            if n:
+                self.push(time, payloads[0])
+            return
+        times = self._times
+        if times:
+            if time < times[-1]:
+                raise SimulationError(
+                    f"TimedRun push out of order: {time} < {times[-1]}")
+            sim = self._sim
+            seq = sim._seq
+            sim._seq = seq + n
+        else:
+            sim = self._sim
+            if time < sim._now:
+                raise SimulationError(
+                    f"cannot push in the past: {time} < {sim._now}")
+            seq = sim._seq
+            sim._seq = seq + n
+            if not self._dispatching:
+                heapq.heappush(sim._heap, (time, seq, self))
+        times.extend([time] * n)
+        self._seqs.extend(range(seq, seq + n))
+        self._payloads.extend(payloads)
+
+    def pending(self) -> int:
+        """Number of items not yet dispatched."""
+        return len(self._times) - self._head
+
+    def __repr__(self) -> str:
+        n = len(self._times) - self._head
+        head = self._times[self._head] if n else None
+        return f"TimedRun(pending={n}, head={head})"
+
+
 class Simulator:
     """Discrete-event loop with a virtual clock.
 
@@ -114,6 +261,17 @@ class Simulator:
         self._dead = 0
         self._running = False
         self._events_processed = 0
+        #: Packets delivered by the link layers.  Incremented identically
+        #: in both event models, so it is the dispatch-count metric that
+        #: summary digests pin (``events_processed`` is telemetry).
+        self.packets_processed = 0
+        #: Which event model datapath components should build for:
+        #: ``"macro"`` (fused TimedRun bursts) or ``"classic"``
+        #: (one event per packet hop).  Resolved once from
+        #: ``REPRO_EVENT_MODEL`` at construction.
+        self.event_model = _resolve_event_model()
+        #: Number of lazy compactions performed (telemetry).
+        self.compactions = 0
         #: Tracing hook (:class:`repro.obs.bus.TraceBus`); ``None`` means
         #: tracing is disabled and every probe site short-circuits.
         self.trace = None
@@ -125,8 +283,16 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Number of events executed so far."""
+        """Number of dispatches executed so far (telemetry).
+
+        Counts classic events and macro-run items alike, so the value
+        depends on the event model; digests pin ``packets_processed``.
+        """
         return self._events_processed
+
+    def timed_run(self, fn: Callable) -> TimedRun:
+        """Create a :class:`TimedRun` dispatching through ``fn``."""
+        return TimedRun(self, fn)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now.
@@ -169,23 +335,43 @@ class Simulator:
         return event
 
     def _note_cancel(self) -> None:
-        """O(1) bookkeeping for a cancelled event; compact lazily."""
+        """O(1) bookkeeping for a cancelled event; compact lazily.
+
+        The trigger scales with the *live* population: a rebuild runs
+        only once the dead strictly outnumber the live (and exceed a
+        floor so small simulations never pay it), which keeps the
+        amortized cost O(1) per cancel no matter how degenerate the
+        cancel pattern is.
+        """
         self._dead += 1
-        if (self._dead > _COMPACT_MIN_DEAD
-                and self._dead * 2 > len(self._heap) + len(self._ready)):
+        dead = self._dead
+        if dead <= _COMPACT_MIN_DEAD:
+            return
+        live = len(self._heap) + len(self._ready) - dead
+        if dead > live:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled events (O(live)).
+        """Rebuild the scheduler without cancelled events (O(live)).
 
-        Mutates the heap list in place: ``run`` holds a local alias to
-        it, and cancel (hence compaction) can happen mid-run from an
-        event callback.
+        Mutates the heap list and the now bucket in place: ``run``
+        holds local aliases to both, and cancel (hence compaction) can
+        happen mid-run from an event callback.  Both tiers are purged —
+        leaving corpses parked in the now bucket would recount them
+        into ``_dead`` and re-trigger an O(live) rebuild on every
+        subsequent cancel (the degenerate fault-storm pattern this
+        threshold exists to prevent).
         """
         heap = self._heap
         heap[:] = [entry for entry in heap if not entry[2].cancelled]
         heapq.heapify(heap)
-        self._dead = sum(1 for event in self._ready if event.cancelled)
+        ready = self._ready
+        if any(event.cancelled for event in ready):
+            live = [event for event in ready if not event.cancelled]
+            ready.clear()
+            ready.extend(live)
+        self._dead = 0
+        self.compactions += 1
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -224,12 +410,15 @@ class Simulator:
                         event = entry[2]
                     else:
                         break
-                    if event.cancelled:
-                        self._dead -= 1
-                        continue
-                    event.fired = True
-                    event.callback()
-                    processed += 1
+                    if event.__class__ is Event:
+                        if event.cancelled:
+                            self._dead -= 1
+                            continue
+                        event.fired = True
+                        event.callback()
+                        processed += 1
+                    else:
+                        processed += self._dispatch_run(event, None, None)
                 return
             while True:
                 if max_events is not None and processed >= max_events:
@@ -250,6 +439,12 @@ class Simulator:
                     event = heappop(heap)[2]
                 else:
                     break
+                if event.__class__ is not Event:
+                    processed += self._dispatch_run(
+                        event, until,
+                        None if max_events is None
+                        else max_events - processed)
+                    continue
                 if event.cancelled:
                     self._dead -= 1
                     continue
@@ -268,6 +463,101 @@ class Simulator:
             # Flushed once per run; nothing reads the counter mid-run.
             self._events_processed += processed
             self._running = False
+
+    def _dispatch_run(self, run: TimedRun, until: Optional[float],
+                      limit: Optional[int]) -> int:
+        """Fire ``run``'s head item plus run-ahead; return items fired.
+
+        Called with the run's sentinel freshly popped from the heap.
+        After the head item fires, consecutive items keep firing inline
+        — zero heap traffic — while each is globally next in the exact
+        ``(time, seq)`` order (now bucket empty, and no heap event at a
+        smaller key).  On any tie or bound the loop stops and a fresh
+        sentinel is planted for the new head, returning resolution to
+        the main loop's full compare; correctness never depends on how
+        far run-ahead got.
+        """
+        times = run._times
+        i = run._head
+        if i == len(times):
+            return 0  # stale sentinel (defensive; invariant keeps one)
+        seqs = run._seqs
+        payloads = run._payloads
+        fn = run.fn
+        fn_batch = run.fn_batch
+        heap = self._heap
+        ready = self._ready
+        fired = 0
+        run._dispatching = True  # push() must not plant a sentinel
+        try:
+            while True:
+                t = times[i]
+                if until is not None and t > until:
+                    break
+                self._now = t
+                if fn_batch is not None and limit is None and not ready:
+                    # Gather the maximal same-instant prefix in which
+                    # every item is globally next (beats the heap top by
+                    # (time, seq)); ``until`` needs no re-check — the
+                    # head already passed it and the prefix shares its
+                    # time.  Per-item dispatch would fire exactly these
+                    # items consecutively, so one batch call with the
+                    # identical payload order is trajectory-equivalent.
+                    j = i + 1
+                    end = len(times)
+                    if heap:
+                        h0 = heap[0]
+                        h0t = h0[0]
+                        h0s = h0[1]
+                        while (j < end and times[j] == t
+                               and (h0t > t or seqs[j] < h0s)):
+                            j += 1
+                    else:
+                        while j < end and times[j] == t:
+                            j += 1
+                    if j > i + 1:
+                        run._head = j
+                        fn_batch(payloads[i:j])
+                        fired += j - i
+                        i = run._head
+                        if i == len(times) or ready:
+                            break
+                        t2 = times[i]
+                        if heap:
+                            h0 = heap[0]
+                            h0t = h0[0]
+                            if h0t < t2 or (h0t == t2 and h0[1] < seqs[i]):
+                                break
+                        continue
+                run._head = i + 1
+                fn(payloads[i])
+                fired += 1
+                if limit is not None and fired >= limit:
+                    break
+                i = run._head
+                if i == len(times) or ready:
+                    # Drained, or a same/later-instant bucket entry
+                    # needs the main loop's seq tie-break.
+                    break
+                t2 = times[i]
+                if heap:
+                    h0 = heap[0]
+                    h0t = h0[0]
+                    if h0t < t2 or (h0t == t2 and h0[1] < seqs[i]):
+                        break
+        finally:
+            run._dispatching = False
+            i = run._head
+            if i < len(times):
+                heapq.heappush(heap, (times[i], seqs[i], run))
+            elif i:
+                # Drained: reset storage so a long campaign's runs do
+                # not grow without bound.
+                del times[:]
+                del seqs[:]
+                del payloads[:]
+                run._head = 0
+        return fired
 
     # -- tracing (repro.obs) -------------------------------------------------
 
@@ -311,10 +601,15 @@ class Simulator:
         return heap[0][0] if heap else None
 
     def pending(self) -> int:
-        """Number of pending (non-cancelled) events."""
-        return (sum(1 for event in self._ready if not event.cancelled)
-                + sum(1 for _, _, event in self._heap
-                      if not event.cancelled))
+        """Number of pending (non-cancelled) events and run items."""
+        count = sum(1 for event in self._ready if not event.cancelled)
+        for _, _, obj in self._heap:
+            if obj.__class__ is Event:
+                if not obj.cancelled:
+                    count += 1
+            else:
+                count += len(obj._times) - obj._head
+        return count
 
 
 class Timer:

@@ -79,6 +79,9 @@ class ScenarioResult:
     flows: list[FlowResult]
     prediction_pairs: list[tuple[float, float]] = field(default_factory=list)
     events_processed: int = 0
+    #: Packets delivered by the link layers — identical in both event
+    #: models (``events_processed`` is model-dependent telemetry).
+    packets_processed: int = 0
     ap_packets: int = 0
     #: Live tracing state when ``config.trace_config`` was set. Holds
     #: the collected events and the prediction auditor; never serialized
@@ -334,10 +337,15 @@ class TopologyBuilder:
                 ap_rt = self.aps[er.spec.dst]
                 if er.spec.wireless:
                     er.link.deliver = self._make_ap_wireless_in(ap_rt)
+                    if hasattr(er.link, "deliver_batch"):
+                        er.link.deliver_batch = \
+                            self._make_ap_wireless_in_batch(ap_rt)
                 else:
                     er.link.deliver = self._make_ap_wired_in(ap_rt)
             else:
                 er.link.deliver = self._make_terminal_in(er)
+                if er.spec.wireless and hasattr(er.link, "deliver_batch"):
+                    er.link.deliver_batch = self._make_terminal_in_batch(er)
 
     def _make_ap_wired_in(self, ap_rt: ApRuntime):
         """WAN-side ingress: ABC marking, then the AP downlink path."""
@@ -357,6 +365,57 @@ class TopologyBuilder:
             else:
                 ap_rt.ap.on_uplink(packet)
         return deliver
+
+    def _make_ap_wireless_in_batch(self, ap_rt: ApRuntime):
+        """Whole-AMPDU twin of :meth:`_make_ap_wireless_in`.
+
+        Packet-for-packet identical to calling the per-packet deliverer
+        in a loop; without FastAck proxies the batch drops straight into
+        the AP's ``on_ack_batch`` entry point.
+        """
+        def deliver_batch(packets: list) -> None:
+            fastack = ap_rt.fastack
+            if not fastack:
+                ap_rt.ap.on_ack_batch(packets)
+                return
+            on_uplink = ap_rt.ap.on_uplink
+            for packet in packets:
+                proxy = fastack.get(packet.flow.reversed())
+                if proxy is not None:
+                    proxy.on_uplink(packet, on_uplink)
+                else:
+                    on_uplink(packet)
+        return deliver_batch
+
+    def _make_terminal_in_batch(self, er: EdgeRuntime):
+        """Whole-AMPDU twin of :meth:`_make_terminal_in` (hoisted
+        lookups; per-packet semantics unchanged)."""
+        src_ap = self.aps.get(er.spec.src) if er.spec.wireless else None
+        node = er.spec.dst
+
+        def deliver_batch(packets: list) -> None:
+            sim = self.sim
+            handlers = self._handlers[node]
+            network_rtt = self._network_rtt
+            return_delay = self._return_delay
+            zhuge = src_ap.zhuge if src_ap is not None else None
+            fastack = src_ap.fastack if src_ap is not None else None
+            for packet in packets:
+                if zhuge is not None:
+                    zhuge.on_wireless_delivery(packet)
+                if fastack:
+                    for proxy in fastack.values():
+                        proxy.on_wireless_delivery(packet)
+                recorder = network_rtt.get(packet.flow)
+                if recorder is not None and packet.kind == PacketKind.DATA:
+                    now = sim._now
+                    one_way = now - packet.sent_at
+                    recorder.record(
+                        now, max(0.0, one_way) + return_delay[packet.flow])
+                handler = handlers.get(packet.flow)
+                if handler is not None:
+                    handler(packet)
+        return deliver_batch
 
     def _make_terminal_in(self, er: EdgeRuntime):
         """Delivery into a client/server node: bookkeeping + endpoint."""
@@ -900,6 +959,7 @@ class TopologyBuilder:
         return ScenarioResult(config=config, flows=flows,
                               prediction_pairs=pairs,
                               events_processed=self.sim.events_processed,
+                              packets_processed=self.sim.packets_processed,
                               ap_packets=ap_packets,
                               trace_session=self.trace_session,
                               fault_log=fault_log,

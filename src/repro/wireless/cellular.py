@@ -108,6 +108,7 @@ class CellularLink:
     def _arrive(self, packets: list[Packet]) -> None:
         if self.deliver is None:
             return
+        self.sim.packets_processed += len(packets)
         for packet in packets:
             fault_drop = self.fault_drop
             if fault_drop is not None and fault_drop(packet):

@@ -79,11 +79,42 @@ class WirelessLink:
         self._tx_ampdu: Optional[list[Packet]] = None
         from collections import deque
         self._arrivals: "deque[list[Packet]]" = deque()
+        #: Optional whole-AMPDU delivery callback (macro mode): must be
+        #: observably identical to calling ``deliver`` per packet; used
+        #: only when no fault predicate or trace hooks are active.
+        self.deliver_batch: Optional[Callable[[list[Packet]], None]] = None
+        #: Macro event model: the per-txop finish/arrive event pair is
+        #: replaced by two TimedRun streams keyed on the same times and
+        #: seq-consumption points as the classic events, so trajectories
+        #: are bit-identical.  Serve/transmit stay classic events — the
+        #: contention RNG draws and queue reads must happen at their
+        #: exact classic instants.
+        self._macro = sim.event_model == "macro"
+        if self._macro:
+            self._finish_run = sim.timed_run(self._macro_finish)
+            self._arrive_run = sim.timed_run(self._macro_arrive)
 
     def send(self, packet: Packet) -> None:
         """Accept a downlink packet (enqueue; kick the server if idle)."""
-        accepted = self.queue.enqueue(packet, self.sim.now)
-        if accepted and not self._serving and not self.blocked:
+        queue = self.queue
+        if queue._plain and queue.trace is None and not queue.on_arrival:
+            # Inlined plain ``DropTailQueue.enqueue`` — identical stats,
+            # stamps, and drop path, one call frame less on the
+            # per-packet downlink edge.  Probed/subclassed queues take
+            # the generic call.
+            size = packet.size
+            if queue._bytes + size > queue.capacity_bytes:
+                queue._drop(packet, "tail-overflow")
+                return
+            packet.enqueued_at = self.sim._now
+            queue._packets.append(packet)
+            queue._bytes += size
+            stats = queue.stats
+            stats.enqueued += 1
+            stats.bytes_enqueued += size
+        elif not queue.enqueue(packet, self.sim.now):
+            return
+        if not self._serving and not self.blocked:
             self._serving = True
             self.sim.schedule(0.0, self._serve_txop)
 
@@ -146,8 +177,45 @@ class WirelessLink:
                 self._traced_rate = rate
             self.trace.link_txop(self, len(ampdu), ampdu_bytes, airtime,
                                  rate)
-        self._tx_ampdu = ampdu
-        self.sim.schedule(airtime, self._finish)
+        if self._macro:
+            self._finish_run.push(self.sim._now + airtime, ampdu)
+        else:
+            self._tx_ampdu = ampdu
+            self.sim.schedule(airtime, self._finish)
+
+    def _macro_finish(self, ampdu: list[Packet]) -> None:
+        """TimedRun twin of :meth:`_finish` (same order of operations)."""
+        self._arrive_run.push(self.sim._now + self.propagation_delay, ampdu)
+        self._serve_txop()
+
+    def _macro_arrive(self, ampdu: list[Packet]) -> None:
+        """TimedRun twin of :meth:`_arrive`, with a batch fast path."""
+        if self.deliver is None:
+            return
+        sim = self.sim
+        sim.packets_processed += len(ampdu)
+        if self.fault_drop is None and self.trace is None:
+            now = sim._now
+            deliver_batch = self.deliver_batch
+            if deliver_batch is not None:
+                for packet in ampdu:
+                    packet.received_at = now
+                deliver_batch(ampdu)
+                return
+            deliver = self.deliver
+            for packet in ampdu:
+                packet.received_at = now
+                deliver(packet)
+            return
+        for packet in ampdu:
+            fault_drop = self.fault_drop
+            if fault_drop is not None and fault_drop(packet):
+                self.fault_dropped += 1
+                continue
+            packet.received_at = sim.now
+            if self.trace is not None:
+                self.trace.link_delivery(self, packet)
+            self.deliver(packet)
 
     def _finish(self) -> None:
         # Only one AMPDU occupies the air at a time: the next txop is
@@ -164,6 +232,7 @@ class WirelessLink:
         ampdu = self._arrivals.popleft()
         if self.deliver is None:
             return
+        self.sim.packets_processed += len(ampdu)
         for packet in ampdu:
             fault_drop = self.fault_drop
             if fault_drop is not None and fault_drop(packet):

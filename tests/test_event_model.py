@@ -1,0 +1,316 @@
+"""Event-model equivalence: macro fused dispatch == classic per-packet.
+
+PR 10 refactors the engine's event/time model so the common case costs
+one dispatch per txop/frame-batch instead of ~4 heap events per packet
+(`REPRO_EVENT_MODEL=macro`, the default), with the per-packet chain
+kept as the `classic` escape hatch.  The contract is *bit-exact
+trajectory equivalence*: both modes must produce identical
+:meth:`ScenarioSummary.digest` values — per-packet timestamps, delays,
+drops, release times, and delivery counts — differing only in
+``events_processed`` telemetry.
+
+Covers:
+
+* the :class:`~repro.sim.engine.TimedRun` macro-run primitive (global
+  (time, seq) ordering against heap/ready events, bounded runs,
+  monotonicity enforcement, pending accounting);
+* the cancel-compaction threshold regression (it must scale with the
+  live population, not a fixed count — the fixed threshold caused
+  O(live) rebuilds every ~64 cancels under fault storms);
+* classic == pinned golden digests (macro is pinned by
+  ``tests/test_topology.py``; this closes the triangle);
+* hypothesis-generated random topologies — optionally with faults and
+  a control plane — run in both modes;
+* the campaign triangle (serial == pool == cache) in both modes.
+"""
+
+import json
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (ResultCache, ScenarioSpec, TraceSpec,
+                            execute_spec, run_campaign, run_specs)
+from repro.control.spec import ControlSpec
+from repro.faults.spec import FaultPlan, FaultSpec
+from repro.sim.engine import SimulationError, Simulator
+from repro.topology.spec import interference_topology
+from tests.test_topology import GOLDEN_PATH, RESIMULATED, topology_specs
+
+MODES = ("classic", "macro")
+
+
+@contextmanager
+def _event_model(mode):
+    """Pin ``REPRO_EVENT_MODEL`` for Simulators constructed inside.
+
+    The engine reads the variable once per :class:`Simulator`
+    construction, so toggling the environment is enough to run both
+    models in-process; pool workers inherit it through ``os.environ``.
+    """
+    old = os.environ.get("REPRO_EVENT_MODEL")
+    os.environ["REPRO_EVENT_MODEL"] = mode
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ["REPRO_EVENT_MODEL"]
+        else:
+            os.environ["REPRO_EVENT_MODEL"] = old
+
+
+# ---------------------------------------------------------------------------
+# TimedRun: the macro-run engine primitive
+# ---------------------------------------------------------------------------
+
+
+class TestTimedRun:
+    def test_interleaves_with_events_in_time_seq_order(self):
+        """Run items and heap/ready events share one total order."""
+        sim = Simulator()
+        log = []
+        run = sim.timed_run(lambda p: log.append((p, sim.now)))
+        sim.schedule(1.0, lambda: log.append(("evt-a", sim.now)))  # seq 0
+        run.push(1.0, "run-x")                                     # seq 1
+        sim.schedule(1.0, lambda: log.append(("evt-b", sim.now)))  # seq 2
+        run.push(2.0, "run-y")                                     # seq 3
+        sim.schedule(1.5, lambda: log.append(("evt-c", sim.now)))  # seq 4
+        sim.run()
+        assert log == [("evt-a", 1.0), ("run-x", 1.0), ("evt-b", 1.0),
+                       ("evt-c", 1.5), ("run-y", 2.0)]
+
+    def test_zero_delay_schedule_respects_seq_against_run_items(self):
+        """A zero-delay event scheduled by a run item gets a *later*
+        seq than an already-pushed same-instant run item, so it fires
+        after it — exactly the classic heap-event tie order."""
+        sim = Simulator()
+        log = []
+        run = sim.timed_run(lambda p: (log.append(p),
+                                       sim.schedule(0.0, lambda:
+                                                    log.append("zero"))
+                                       if p == "first" else None))
+        run.push(1.0, "first")   # seq 0
+        run.push(1.0, "second")  # seq 1; the zero-delay event gets seq 2
+        sim.run()
+        assert log == ["first", "second", "zero"]
+
+    def test_push_out_of_order_raises(self):
+        sim = Simulator()
+        run = sim.timed_run(lambda p: None)
+        run.push(2.0, "a")
+        with pytest.raises(SimulationError, match="out of order"):
+            run.push(1.0, "b")
+
+    def test_push_in_past_raises(self):
+        sim = Simulator()
+        run = sim.timed_run(lambda p: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            run.push(1.0, "late")
+
+    def test_run_until_pauses_and_resumes_mid_run(self):
+        sim = Simulator()
+        fired = []
+        run = sim.timed_run(fired.append)
+        for t in (1.0, 2.0, 3.0):
+            run.push(t, t)
+        sim.run(until=2.0)
+        assert fired == [1.0, 2.0]
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.pending() == 0
+
+    def test_max_events_counts_run_items(self):
+        sim = Simulator()
+        fired = []
+        run = sim.timed_run(fired.append)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            run.push(t, t)
+        sim.run(max_events=2)
+        assert fired == [1.0, 2.0]
+        assert sim.now == 2.0
+        sim.run(max_events=1)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_push_during_dispatch_extends_current_run(self):
+        """Items appended by the dispatcher itself keep firing (the
+        txop self-extension pattern) without losing global ordering."""
+        sim = Simulator()
+        log = []
+
+        def fire(p):
+            log.append((p, sim.now))
+            if p == "a":
+                run.push(sim.now + 1.0, "b")
+
+        run = sim.timed_run(fire)
+        run.push(1.0, "a")
+        sim.schedule(1.5, lambda: log.append(("evt", sim.now)))
+        sim.run()
+        assert log == [("a", 1.0), ("evt", 1.5), ("b", 2.0)]
+
+    def test_pending_counts_run_backlog(self):
+        sim = Simulator()
+        run = sim.timed_run(lambda p: None)
+        assert sim.pending() == 0
+        run.push(1.0, "a")
+        run.push(2.0, "b")
+        sim.schedule(3.0, lambda: None)
+        assert sim.pending() == 3
+
+
+# ---------------------------------------------------------------------------
+# Cancel-compaction threshold regression (satellite 4)
+# ---------------------------------------------------------------------------
+
+
+class TestCancelCompaction:
+    def test_no_rebuild_while_live_events_dominate(self):
+        """Cancelling a minority of a large heap must never compact.
+
+        The seed triggered a full O(live) rebuild every ~64 cancels
+        regardless of heap size; the threshold now scales with the
+        live population (dead must strictly outnumber live), so this
+        pattern — a fault storm retiring 500 timers under 2000 live
+        events — performs zero rebuilds.
+        """
+        sim = Simulator()
+        live = [sim.schedule(10.0 + i * 1e-3, lambda: None)
+                for i in range(2000)]
+        doomed = [sim.schedule(5.0 + i * 1e-3, lambda: None)
+                  for i in range(500)]
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions == 0
+        assert sim.pending() == 2000
+
+        # Push the dead population past the live one: rebuilds stay
+        # geometric (each one at least halves the population, so ~3
+        # for 1800 cancels; the seed's fixed threshold would do ~35).
+        for event in live[:1800]:
+            event.cancel()
+        assert 1 <= sim.compactions <= 3
+        assert sim.pending() == 200
+        # Sub-threshold corpses may linger, but never more than the
+        # live population (plus the small-sim floor).
+        dead = len(sim._heap) - sim.pending()
+        assert dead <= max(64, sim.pending()) + 1
+
+    def test_small_simulations_never_compact(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i, lambda: None) for i in range(60)]
+        for event in events:
+            event.cancel()
+        assert sim.compactions == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+
+# ---------------------------------------------------------------------------
+# Golden equivalence: classic must reproduce the pinned digests
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("name", RESIMULATED)
+    def test_resimulated_goldens_match_pins(self, mode, name):
+        """Both event models reproduce the digest-v2 pins bit-exactly."""
+        data = json.load(open(GOLDEN_PATH))
+        with _event_model(mode):
+            summary = execute_spec(ScenarioSpec.from_dict(data[name]["spec"]))
+        assert summary.digest() == data[name]["summary_digest_v2"], \
+            f"{name} diverged under REPRO_EVENT_MODEL={mode}"
+
+    def test_controlled_scenario_equivalent_across_modes(self):
+        """Full control plane (controller + steering) on a 2-AP cell."""
+        spec = ScenarioSpec(
+            trace=TraceSpec.for_family("W2", duration=7, seed=3),
+            duration=5.0, seed=3, warmup=2.0,
+            topology=interference_topology(ap_mode="zhuge", interferers=2),
+            control=ControlSpec.default())
+        digests = {}
+        for mode in MODES:
+            with _event_model(mode):
+                digests[mode] = execute_spec(spec).digest()
+        assert digests["classic"] == digests["macro"]
+
+    def test_faulted_scenario_equivalent_across_modes(self):
+        spec = ScenarioSpec(
+            trace=TraceSpec.for_family("W2", duration=7, seed=4),
+            duration=5.0, seed=4, warmup=2.0,
+            faults=FaultPlan(faults=(
+                FaultSpec(kind="blackout", start=2.5, duration=0.4),
+                FaultSpec(kind="loss_burst", start=3.5, duration=0.8,
+                          magnitude=0.25))))
+        digests = {}
+        for mode in MODES:
+            with _event_model(mode):
+                digests[mode] = execute_spec(spec).digest()
+        assert digests["classic"] == digests["macro"]
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random topologies agree across modes
+# ---------------------------------------------------------------------------
+
+
+def _run_or_error(spec):
+    """Summary digest, or the exception type a bad spec raises.
+
+    Invalid random topologies must fail identically in both modes;
+    valid ones must produce identical trajectories.
+    """
+    try:
+        return execute_spec(spec).digest()
+    except (ValueError, SimulationError) as exc:
+        return type(exc).__name__
+
+
+class TestRandomTopologyEquivalence:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(topo=topology_specs(), seed=st.integers(min_value=1, max_value=9),
+           faulted=st.booleans())
+    def test_classic_and_macro_agree(self, topo, seed, faulted):
+        faults = None
+        if faulted:
+            faults = FaultPlan(faults=(
+                FaultSpec(kind="blackout", start=1.5, duration=0.3),))
+        spec = ScenarioSpec(
+            trace=TraceSpec.for_family("W2", duration=5, seed=seed),
+            duration=3.0, seed=seed, warmup=1.0,
+            topology=topo, faults=faults)
+        outcomes = {}
+        for mode in MODES:
+            with _event_model(mode):
+                outcomes[mode] = _run_or_error(spec)
+        assert outcomes["classic"] == outcomes["macro"]
+
+
+# ---------------------------------------------------------------------------
+# Campaign triangle in both modes (satellite 2)
+# ---------------------------------------------------------------------------
+
+
+class TestCampaignTriangleBothModes:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_serial_pool_cache_agree(self, mode, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_MODEL", mode)
+        spec = ScenarioSpec(trace=TraceSpec.for_family("W2", duration=6,
+                                                       seed=2),
+                            duration=4.0, seed=2, warmup=2.0,
+                            topology=interference_topology(ap_mode="zhuge",
+                                                           interferers=2))
+        serial = execute_spec(spec).as_dict()
+        cache = ResultCache(root=tmp_path / mode)
+        pooled = run_specs([spec], jobs=2, cache=cache)[0].as_dict()
+        assert pooled == serial
+        replay = run_campaign([spec], jobs=2, cache=cache)
+        assert replay.cached == 1
+        assert replay.summaries()[0].as_dict() == serial
